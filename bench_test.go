@@ -1,0 +1,240 @@
+// Benchmarks: one per experiment in EXPERIMENTS.md (the paper's
+// Figure 1 plus the quantitative claims E1-E7 from §4 and §5). Run
+//
+//	go test -bench=. -benchmem
+//
+// cmd/pbench prints the corresponding row-level tables.
+package packagebuilder
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/explore"
+	"repro/internal/minidb"
+	"repro/internal/search"
+	"repro/internal/translate"
+	"repro/internal/viz"
+)
+
+const benchMealQuery = `
+	SELECT PACKAGE(R) AS P
+	FROM recipes R
+	WHERE R.gluten = 'free'
+	SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500
+	MAXIMIZE SUM(P.protein)`
+
+func benchDB(b *testing.B, n int) *minidb.DB {
+	b.Helper()
+	db := minidb.New()
+	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: n, Seed: 42}); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func benchPrep(b *testing.B, n int) *core.Prepared {
+	b.Helper()
+	prep, err := core.Prepare(benchDB(b, n), benchMealQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prep
+}
+
+// BenchmarkF1_SummaryRender measures the Figure 1 interface pipeline:
+// evaluate several packages, choose 2 display dimensions, lay out and
+// render the package-space summary.
+func BenchmarkF1_SummaryRender(b *testing.B) {
+	db := benchDB(b, 500)
+	ses, err := explore.NewSession(db, benchMealQuery, core.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep := ses.Prepared()
+	res, err := prep.Run(core.Options{Limit: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := viz.Summarize(prep, res.Packages, 0, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum.RenderASCII(io.Discard, 56, 12)
+	}
+}
+
+// BenchmarkE1_PrunedVsBrute compares complete enumeration with and
+// without §4.1 cardinality pruning (same answers, fewer nodes).
+func BenchmarkE1_PrunedVsBrute(b *testing.B) {
+	for _, n := range []int{14, 18} {
+		prep := benchPrep(b, n)
+		b.Run(fmt.Sprintf("brute/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := search.BruteForce(prep.Instance, search.Options{Limit: 1 << 30}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("pruned/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := search.PrunedEnumerate(prep.Instance, search.Options{Limit: 1 << 30, NoObjBound: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2_Strategies times each evaluation strategy on the meal
+// query at sizes where it is viable.
+func BenchmarkE2_Strategies(b *testing.B) {
+	type cfg struct {
+		strategy core.Strategy
+		sizes    []int
+	}
+	cases := []cfg{
+		{core.BruteForceStrategy, []int{16, 20}},
+		{core.PrunedEnum, []int{16, 20, 100}},
+		{core.Solver, []int{100, 1000, 5000}},
+		{core.LocalSearchStrategy, []int{100, 1000, 5000}},
+	}
+	for _, c := range cases {
+		for _, n := range c.sizes {
+			prep := benchPrep(b, n)
+			b.Run(fmt.Sprintf("%s/n=%d", c.strategy, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := prep.Run(core.Options{Strategy: c.strategy, Seed: 1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE3_KReplacement times the §4.2 replacement neighbourhood
+// query (a 2k-way SQL join) for k = 1, 2.
+func BenchmarkE3_KReplacement(b *testing.B) {
+	for _, n := range []int{100, 500} {
+		db := benchDB(b, n)
+		prep, err := core.Prepare(db, benchMealQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst := prep.Instance
+		mult := make([]int, len(inst.Rows))
+		placed := 0
+		for i := range mult {
+			if placed < 3 {
+				mult[i] = 1
+				placed++
+			}
+		}
+		for _, k := range []int{1, 2} {
+			b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, _, err := search.ReplacementProbe(inst, db, mult, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE4_MultiPackage measures retrieving m packages through
+// repeated MILP solves with exclusion cuts (§5 solver limitations).
+func BenchmarkE4_MultiPackage(b *testing.B) {
+	prep := benchPrep(b, 500)
+	for _, m := range []int{1, 5, 10} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				model, err := translate.Translate(prep.Analysis, prep.Instance.Rows, prep.Instance.IDs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := 0; k < m; k++ {
+					res, err := model.Solve()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Solution.X == nil {
+						break
+					}
+					if k+1 < m {
+						if err := model.AddExclusionCut(res.Multiplicities); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5_Quality times local search at increasing restart budgets
+// (the quality numbers are in cmd/pbench -exp e5).
+func BenchmarkE5_Quality(b *testing.B) {
+	db := benchDB(b, 200)
+	prep, err := core.Prepare(db, benchMealQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, restarts := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("restarts=%d", restarts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := search.LocalSearch(prep.Instance, db, search.Options{
+					Restarts: restarts, Seed: int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6_Repeat measures solver cost as REPEAT widens multiplicity.
+func BenchmarkE6_Repeat(b *testing.B) {
+	db := benchDB(b, 30)
+	for _, repeat := range []int{0, 2, 4} {
+		q := fmt.Sprintf(`
+			SELECT PACKAGE(R) AS P FROM recipes R REPEAT %d
+			SUCH THAT COUNT(*) = 5 AND SUM(P.protein) >= 150
+			MAXIMIZE SUM(P.protein)`, repeat)
+		b.Run(fmt.Sprintf("repeat=%d", repeat), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Evaluate(db, q, core.Options{Strategy: core.Solver}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7_Diversity compares top-k retrieval with diverse selection.
+func BenchmarkE7_Diversity(b *testing.B) {
+	prep := benchPrep(b, 300)
+	for _, diverse := range []bool{false, true} {
+		name := "topk"
+		if diverse {
+			name = "diverse"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := prep.Run(core.Options{
+					Strategy: core.Solver, Limit: 5, Diverse: diverse, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,206 @@
+// Command paql evaluates PaQL package queries from the command line.
+//
+// Data sources (choose one or more):
+//
+//	-csv table=path.csv     load a CSV file as a table (repeatable)
+//	-gen recipes:500:42     generate a synthetic table kind:n:seed
+//	                        (kinds: recipes, vacation, stocks)
+//
+// The query comes from -q or -f; with neither, an interactive REPL
+// reads PaQL or SQL statements from stdin (terminate each with ';').
+//
+// Examples:
+//
+//	paql -gen recipes:500:1 -q "SELECT PACKAGE(R) AS P FROM recipes R
+//	     WHERE R.gluten = 'free'
+//	     SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500
+//	     MAXIMIZE SUM(P.protein)"
+//	paql -gen recipes:1000:1 -strategy local-search -limit 3 -q "..."
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	pb "repro"
+	"repro/internal/dataset"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var csvs, gens multiFlag
+	flag.Var(&csvs, "csv", "table=path.csv (repeatable)")
+	flag.Var(&gens, "gen", "kind:n:seed synthetic table (kinds: recipes, vacation, stocks)")
+	query := flag.String("q", "", "PaQL query text")
+	file := flag.String("f", "", "file containing the PaQL query")
+	strategy := flag.String("strategy", "auto", "auto | solver | pruned-enum | local-search | brute-force")
+	limit := flag.Int("limit", 0, "number of packages (overrides query LIMIT)")
+	diverse := flag.Bool("diverse", false, "return diverse packages instead of top-k")
+	seed := flag.Int64("seed", 1, "randomized strategy seed")
+	flag.Parse()
+
+	sys := pb.New()
+	for _, spec := range csvs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fail("bad -csv %q (want table=path.csv)", spec)
+		}
+		n, err := sys.LoadCSVFile(name, path)
+		if err != nil {
+			fail("load %s: %v", spec, err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d rows into %s\n", n, name)
+	}
+	for _, spec := range gens {
+		if err := generate(sys, spec); err != nil {
+			fail("generate %s: %v", spec, err)
+		}
+	}
+
+	text := *query
+	if *file != "" {
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			fail("%v", err)
+		}
+		text = string(raw)
+	}
+	if text == "" {
+		repl(sys, *strategy, *limit, *diverse, *seed)
+		return
+	}
+	runQuery(sys, text, *strategy, *limit, *diverse, *seed)
+}
+
+func runQuery(sys *pb.System, text, strategy string, limit int, diverse bool, seed int64) {
+	opts, err := buildOpts(strategy, limit, diverse, seed)
+	if err != nil {
+		fail("%v", err)
+	}
+	res, err := sys.Query(text, opts...)
+	if err != nil {
+		fail("%v", err)
+	}
+	pb.FormatResult(os.Stdout, sys, res)
+}
+
+func buildOpts(strategy string, limit int, diverse bool, seed int64) ([]pb.Option, error) {
+	var opts []pb.Option
+	switch strings.ToLower(strategy) {
+	case "auto", "":
+	case "solver":
+		opts = append(opts, pb.WithStrategy(pb.Solver))
+	case "pruned-enum", "pruned":
+		opts = append(opts, pb.WithStrategy(pb.PrunedEnum))
+	case "local-search", "local":
+		opts = append(opts, pb.WithStrategy(pb.LocalSearch))
+	case "brute-force", "brute":
+		opts = append(opts, pb.WithStrategy(pb.BruteForce))
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", strategy)
+	}
+	if limit > 0 {
+		opts = append(opts, pb.WithLimit(limit))
+	}
+	if diverse {
+		opts = append(opts, pb.WithDiverse())
+	}
+	opts = append(opts, pb.WithSeed(seed))
+	return opts, nil
+}
+
+func generate(sys *pb.System, spec string) error {
+	parts := strings.Split(spec, ":")
+	kind := parts[0]
+	n := 500
+	var seed int64 = 1
+	if len(parts) > 1 {
+		v, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return fmt.Errorf("bad size %q", parts[1])
+		}
+		n = v
+	}
+	if len(parts) > 2 {
+		v, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q", parts[2])
+		}
+		seed = v
+	}
+	switch kind {
+	case "recipes":
+		return dataset.LoadRecipes(sys.DB(), "recipes", dataset.RecipesConfig{N: n, Seed: seed})
+	case "vacation":
+		return dataset.LoadVacation(sys.DB(), "items", dataset.VacationConfig{
+			Flights: n / 3, Hotels: n / 3, Cars: n - 2*(n/3), Seed: seed})
+	case "stocks":
+		return dataset.LoadStocks(sys.DB(), "stocks", dataset.StocksConfig{N: n, Seed: seed})
+	}
+	return fmt.Errorf("unknown kind %q (recipes, vacation, stocks)", kind)
+}
+
+// repl reads ';'-terminated statements: PaQL (SELECT PACKAGE...) or SQL.
+func repl(sys *pb.System, strategy string, limit int, diverse bool, seed int64) {
+	fmt.Println("PackageBuilder REPL — PaQL or SQL, ';' terminated, \\q to quit")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() { fmt.Print("paql> ") }
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		if strings.TrimSpace(line) == `\q` {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			fmt.Print("   -> ")
+			continue
+		}
+		stmt := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
+		buf.Reset()
+		if stmt != "" {
+			execStmt(sys, stmt, strategy, limit, diverse, seed)
+		}
+		prompt()
+	}
+}
+
+func execStmt(sys *pb.System, stmt, strategy string, limit int, diverse bool, seed int64) {
+	upper := strings.ToUpper(stmt)
+	if strings.HasPrefix(upper, "SELECT PACKAGE") {
+		opts, err := buildOpts(strategy, limit, diverse, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		res, err := sys.Query(stmt, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		pb.FormatResult(os.Stdout, sys, res)
+		return
+	}
+	res, err := sys.ExecSQL(stmt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	res.Format(os.Stdout)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "paql: "+format+"\n", args...)
+	os.Exit(1)
+}

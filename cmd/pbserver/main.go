@@ -1,0 +1,304 @@
+// Command pbserver serves the PackageBuilder meal-planner demo (the
+// paper's Figure 1 scenario) over HTTP: a single-page UI for writing
+// PaQL, viewing the sample package and its aggregates, pinning tuples,
+// requesting replacements (§3.3 adaptive exploration), asking for
+// constraint suggestions (§3.1), and seeing the 2-D package-space
+// summary (§3.2).
+//
+//	pbserver -addr :8080 -n 500 -seed 42
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/explore"
+	"repro/internal/minidb"
+	"repro/internal/viz"
+)
+
+type server struct {
+	mu  sync.Mutex
+	db  *minidb.DB
+	ses *explore.Session // one demo session, like the booth kiosk
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	n := flag.Int("n", 500, "recipe count")
+	seed := flag.Int64("seed", 42, "dataset seed")
+	flag.Parse()
+
+	db := minidb.New()
+	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: *n, Seed: *seed}); err != nil {
+		log.Fatal(err)
+	}
+	s := &server{db: db}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/api/query", s.handleQuery)
+	mux.HandleFunc("/api/replace", s.handleReplace)
+	mux.HandleFunc("/api/pin", s.handlePin)
+	mux.HandleFunc("/api/suggest", s.handleSuggest)
+	mux.HandleFunc("/api/summary", s.handleSummary)
+	fmt.Fprintf(os.Stderr, "PackageBuilder meal planner on http://localhost%s (%d recipes)\n", *addr, *n)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+type pkgJSON struct {
+	Columns   []string          `json:"columns"`
+	Rows      [][]string        `json:"rows"`
+	RowIDs    []int             `json:"rowIds"`
+	Aggs      map[string]string `json:"aggregates"`
+	Objective float64           `json:"objective"`
+	Stats     map[string]any    `json:"stats"`
+	Pinned    []int             `json:"pinned"`
+}
+
+func (s *server) packageJSON(p *core.Package, stats *core.Stats) *pkgJSON {
+	tab, _ := s.db.Table(s.ses.Query().Table)
+	out := &pkgJSON{Aggs: map[string]string{}, Stats: map[string]any{}}
+	for _, c := range tab.Schema.Cols {
+		out.Columns = append(out.Columns, c.Name)
+	}
+	for _, row := range p.Rows {
+		var cells []string
+		for _, v := range row {
+			cells = append(cells, v.String())
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	out.RowIDs = p.TupleIDs()
+	for k, v := range p.AggValues {
+		out.Aggs[k] = v.String()
+	}
+	out.Objective = p.Objective
+	out.Pinned = s.ses.Pinned()
+	if stats != nil {
+		out.Stats["strategy"] = stats.Strategy.String()
+		out.Stats["exact"] = stats.Exact
+		out.Stats["candidates"] = stats.Candidates
+		out.Stats["bounds"] = stats.Bounds.String()
+		out.Stats["elapsedMs"] = float64(stats.Elapsed.Microseconds()) / 1000
+	}
+	return out
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var req struct {
+		Query string `json:"query"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpErr(w, err)
+		return
+	}
+	ses, err := explore.NewSession(s.db, req.Query, core.Options{Seed: 1})
+	if err != nil {
+		httpErr(w, err)
+		return
+	}
+	s.ses = ses
+	if _, err := ses.Refresh(); err != nil {
+		httpErr(w, err)
+		return
+	}
+	writeJSON(w, s.packageJSON(ses.Current(), nil))
+}
+
+func (s *server) handleReplace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ses == nil {
+		httpErr(w, fmt.Errorf("no active query"))
+		return
+	}
+	if _, err := s.ses.Replace(); err != nil {
+		httpErr(w, err)
+		return
+	}
+	writeJSON(w, s.packageJSON(s.ses.Current(), nil))
+}
+
+func (s *server) handlePin(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ses == nil {
+		httpErr(w, fmt.Errorf("no active query"))
+		return
+	}
+	var req struct {
+		RowID int  `json:"rowId"`
+		Unpin bool `json:"unpin"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpErr(w, err)
+		return
+	}
+	if req.Unpin {
+		for i, id := range s.ses.Prepared().Instance.IDs {
+			if id == req.RowID {
+				s.ses.Unpin(i)
+			}
+		}
+	} else if err := s.ses.PinRowID(req.RowID); err != nil {
+		httpErr(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"pinned": s.ses.Pinned()})
+}
+
+func (s *server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ses == nil {
+		httpErr(w, fmt.Errorf("no active query"))
+		return
+	}
+	col := r.URL.Query().Get("column")
+	sugg, err := s.ses.Suggest(explore.Highlight{Column: col, Row: -1})
+	if err != nil {
+		httpErr(w, err)
+		return
+	}
+	writeJSON(w, sugg)
+}
+
+func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ses == nil {
+		httpErr(w, fmt.Errorf("no active query"))
+		return
+	}
+	prep := s.ses.Prepared()
+	res, err := prep.Run(core.Options{Limit: 9, Seed: 1})
+	if err != nil {
+		httpErr(w, err)
+		return
+	}
+	sum, err := viz.Summarize(prep, res.Packages, 0, !res.Stats.Exact)
+	if err != nil {
+		httpErr(w, err)
+		return
+	}
+	writeJSON(w, sum)
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpErr(w http.ResponseWriter, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+const indexHTML = `<!doctype html>
+<html><head><meta charset="utf-8"><title>PackageBuilder — Meal Planner</title>
+<style>
+ body { font-family: system-ui, sans-serif; margin: 2em; max-width: 1080px; }
+ textarea { width: 100%; height: 9em; font-family: monospace; font-size: 13px; }
+ table { border-collapse: collapse; margin-top: .7em; }
+ td, th { border: 1px solid #bbb; padding: 3px 9px; font-size: 13px; }
+ tr.pinned { background: #fff4c2; }
+ button { margin: 4px 6px 4px 0; }
+ #aggs, #stats, #sugg { font-family: monospace; font-size: 13px; white-space: pre; }
+ .cols { display: flex; gap: 2em; } .col { flex: 1; }
+ svg { border: 1px solid #ccc; background: #fafafa; }
+ h3 { margin-bottom: .2em; }
+</style></head><body>
+<h1>PackageBuilder — Meal Planner</h1>
+<p>Write a PaQL package query over the <code>recipes</code> relation
+(columns: id, name, cuisine, mealtype, gluten, calories, protein, fat, carbs, price, rating).</p>
+<textarea id="q">SELECT PACKAGE(R) AS P
+FROM recipes R
+WHERE R.gluten = 'free'
+SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500
+MAXIMIZE SUM(P.protein)</textarea><br>
+<button onclick="run()">Run query</button>
+<button onclick="replacePkg()">Replace unpinned (adaptive exploration)</button>
+<button onclick="summary()">Package-space summary</button>
+suggest for column: <input id="scol" size="10" value="fat">
+<button onclick="suggest()">Suggest</button>
+<div class="cols"><div class="col">
+ <h3>Sample package <small>(click a row to pin/unpin)</small></h3>
+ <div id="pkg"></div>
+ <h3>Aggregates</h3><div id="aggs"></div>
+</div><div class="col">
+ <h3>Suggestions</h3><div id="sugg"></div>
+ <h3>Package space</h3><div id="space"></div>
+</div></div>
+<script>
+let pinned = new Set();
+async function post(url, body) {
+  const r = await fetch(url, {method:'POST', body: JSON.stringify(body||{})});
+  const j = await r.json();
+  if (j.error) { alert(j.error); throw j.error; }
+  return j;
+}
+function render(p) {
+  pinned = new Set(p.pinned || []);
+  let h = '<table><tr>' + p.columns.map(c=>'<th>'+c+'</th>').join('') + '</tr>';
+  p.rows.forEach((row, i) => {
+    const id = p.rowIds[i];
+    const cls = pinned.size && row && isPinnedId(id, p) ? ' class="pinned"' : '';
+    h += '<tr'+cls+' onclick="togglePin('+id+')">' + row.map(c=>'<td>'+c+'</td>').join('') + '</tr>';
+  });
+  h += '</table>';
+  document.getElementById('pkg').innerHTML = h;
+  document.getElementById('aggs').textContent =
+    Object.entries(p.aggregates).map(([k,v])=>k.padEnd(36)+v).join('\n') +
+    '\nobjective: ' + p.objective;
+}
+function isPinnedId(id, p) { return false; /* pin state shown after refresh */ }
+async function run() { render(await post('/api/query', {query: document.getElementById('q').value})); }
+async function replacePkg() { render(await post('/api/replace')); }
+async function togglePin(id) {
+  const un = pinned.has(id);
+  await post('/api/pin', {rowId: id, unpin: un});
+  if (un) pinned.delete(id); else pinned.add(id);
+}
+async function suggest() {
+  const col = document.getElementById('scol').value;
+  const r = await fetch('/api/suggest?column=' + encodeURIComponent(col));
+  const j = await r.json();
+  if (j.error) { alert(j.error); return; }
+  document.getElementById('sugg').textContent =
+    j.map(s=>'['+s.Kind+'] '+s.Text+'\n        '+s.Why).join('\n');
+}
+async function summary() {
+  const r = await fetch('/api/summary');
+  const j = await r.json();
+  if (j.error) { alert(j.error); return; }
+  const W=420,H=260,pad=40;
+  const xs=j.points.map(p=>p.x), ys=j.points.map(p=>p.y);
+  const xmin=Math.min(...xs), xmax=Math.max(...xs), ymin=Math.min(...ys), ymax=Math.max(...ys);
+  const sx=v=> pad + (xmax>xmin ? (v-xmin)/(xmax-xmin) : .5) * (W-2*pad);
+  const sy=v=> H-pad - (ymax>ymin ? (v-ymin)/(ymax-ymin) : .5) * (H-2*pad);
+  let svg = '<svg width="'+W+'" height="'+H+'">';
+  j.points.forEach(p => {
+    svg += '<circle cx="'+sx(p.x)+'" cy="'+sy(p.y)+'" r="'+(p.current?8:5)+'" fill="'+(p.current?'#d9480f':'#4263eb')+'"><title>package '+p.index+': obj '+p.objective+'</title></circle>';
+  });
+  svg += '<text x="'+(W/2)+'" y="'+(H-8)+'" text-anchor="middle" font-size="12">'+j.xLabel+'</text>';
+  svg += '<text x="12" y="'+(H/2)+'" font-size="12" transform="rotate(-90 12 '+(H/2)+')">'+j.yLabel+'</text>';
+  svg += '</svg>';
+  document.getElementById('space').innerHTML = svg + (j.running ? '<br><em>running: result space incomplete</em>' : '');
+}
+</script></body></html>`

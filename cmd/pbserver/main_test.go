@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/minidb"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	db := minidb.New()
+	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: 80, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	return &server{db: db}
+}
+
+const demoQuery = `SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free'
+SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500
+MAXIMIZE SUM(P.protein)`
+
+func postJSON(t *testing.T, h http.HandlerFunc, body string) (*httptest.ResponseRecorder, map[string]json.RawMessage) {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/x", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h(rec, req)
+	var out map[string]json.RawMessage
+	_ = json.Unmarshal(rec.Body.Bytes(), &out)
+	return rec, out
+}
+
+func TestHandleQueryAndReplace(t *testing.T) {
+	s := testServer(t)
+	rec, out := postJSON(t, s.handleQuery, `{"query": `+mustJSON(demoQuery)+`}`)
+	if rec.Code != 200 {
+		t.Fatalf("query status %d: %s", rec.Code, rec.Body)
+	}
+	var rows [][]string
+	_ = json.Unmarshal(out["rows"], &rows)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var aggs map[string]string
+	_ = json.Unmarshal(out["aggregates"], &aggs)
+	if aggs["COUNT(*)"] != "3" {
+		t.Errorf("aggs = %v", aggs)
+	}
+	// replace must return a different package
+	rec2, out2 := postJSON(t, s.handleReplace, `{}`)
+	if rec2.Code != 200 {
+		t.Fatalf("replace status %d: %s", rec2.Code, rec2.Body)
+	}
+	if string(out["rows"]) == string(out2["rows"]) {
+		t.Error("replace returned the same package")
+	}
+}
+
+func TestHandlePinSuggestSummary(t *testing.T) {
+	s := testServer(t)
+	rec, out := postJSON(t, s.handleQuery, `{"query": `+mustJSON(demoQuery)+`}`)
+	if rec.Code != 200 {
+		t.Fatalf("query: %s", rec.Body)
+	}
+	var rowIDs []int
+	_ = json.Unmarshal(out["rowIds"], &rowIDs)
+	if len(rowIDs) == 0 {
+		t.Fatal("no row ids")
+	}
+	// pin
+	rec2, _ := postJSON(t, s.handlePin, `{"rowId": `+itoa(rowIDs[0])+`}`)
+	if rec2.Code != 200 {
+		t.Fatalf("pin: %s", rec2.Body)
+	}
+	// unpin
+	rec3, _ := postJSON(t, s.handlePin, `{"rowId": `+itoa(rowIDs[0])+`, "unpin": true}`)
+	if rec3.Code != 200 {
+		t.Fatalf("unpin: %s", rec3.Body)
+	}
+	// suggest
+	req := httptest.NewRequest("GET", "/api/suggest?column=fat", nil)
+	rec4 := httptest.NewRecorder()
+	s.handleSuggest(rec4, req)
+	if rec4.Code != 200 || !strings.Contains(rec4.Body.String(), "MINIMIZE SUM(P.fat)") {
+		t.Errorf("suggest: %d %s", rec4.Code, rec4.Body)
+	}
+	// summary
+	req = httptest.NewRequest("GET", "/api/summary", nil)
+	rec5 := httptest.NewRecorder()
+	s.handleSummary(rec5, req)
+	if rec5.Code != 200 || !strings.Contains(rec5.Body.String(), "points") {
+		t.Errorf("summary: %d %s", rec5.Code, rec5.Body)
+	}
+}
+
+func TestHandlersWithoutSession(t *testing.T) {
+	s := testServer(t)
+	rec, _ := postJSON(t, s.handleReplace, `{}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("replace without session = %d", rec.Code)
+	}
+	rec2, _ := postJSON(t, s.handlePin, `{"rowId": 1}`)
+	if rec2.Code != http.StatusBadRequest {
+		t.Errorf("pin without session = %d", rec2.Code)
+	}
+	rec3, _ := postJSON(t, s.handleQuery, `{"query": "garbage"}`)
+	if rec3.Code != http.StatusBadRequest {
+		t.Errorf("bad query = %d", rec3.Code)
+	}
+	// index page serves HTML
+	req := httptest.NewRequest("GET", "/", nil)
+	rec4 := httptest.NewRecorder()
+	s.handleIndex(rec4, req)
+	if !strings.Contains(rec4.Body.String(), "PackageBuilder") {
+		t.Error("index page missing")
+	}
+}
+
+func mustJSON(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+func itoa(i int) string {
+	b, _ := json.Marshal(i)
+	return string(b)
+}

@@ -1,0 +1,56 @@
+// Portfolio reproduces the paper's §1 investment-portfolio scenario:
+// "the client has a budget of $50K, wants to invest at least 30% of the
+// assets in technology, and wants a balance of short-term and long-term
+// options."
+//
+// The 30%-of-assets requirement is a linear constraint relating a
+// filtered aggregate to the total — SUM(price WHERE tech) >= 0.3 *
+// SUM(price) rearranges to an affine atom — and the short/long balance
+// is a pair of filtered counts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	pb "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	sys := pb.New()
+	if err := dataset.LoadStocks(sys.DB(), "stocks", dataset.StocksConfig{N: 400, Seed: 11}); err != nil {
+		log.Fatal(err)
+	}
+
+	query := `
+		SELECT PACKAGE(S) AS P
+		FROM stocks S
+		WHERE S.risk <= 0.8
+		SUCH THAT COUNT(*) BETWEEN 5 AND 12
+		      AND SUM(P.price) <= 50000
+		      AND SUM(P.price WHERE P.sector = 'technology') - 0.3 * SUM(P.price) >= 0
+		      AND COUNT(* WHERE P.horizon = 'short') >= 2
+		      AND COUNT(* WHERE P.horizon = 'long') >= 2
+		MAXIMIZE SUM(P.price * P.expret)`
+
+	fmt.Println("=== the broker's portfolio (max expected dollar return) ===")
+	res, err := sys.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pb.FormatResult(os.Stdout, sys, res)
+
+	// Sanity-check the 30% technology allocation from the result.
+	p := res.Packages[0]
+	var total, tech float64
+	for _, row := range p.Rows {
+		price, _ := row[3].AsFloat()
+		total += price
+		if row[2].StrVal() == "technology" {
+			tech += price
+		}
+	}
+	fmt.Printf("technology share: %.1f%% of $%.0f invested\n", 100*tech/total, total)
+}

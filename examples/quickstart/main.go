@@ -1,0 +1,45 @@
+// Quickstart: load a tiny table, run one PaQL package query, print the
+// result. This is the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	pb "repro"
+)
+
+func main() {
+	sys := pb.New()
+
+	// Any relational data works; here a small inline CSV of snacks.
+	csv := `id:int,name,kcal:float,protein:float
+1,Apple,95,0.5
+2,Greek Yogurt,100,17
+3,Trail Mix,350,10
+4,Protein Bar,210,20
+5,Banana,105,1.3
+6,Cheese Sticks,160,12
+7,Hummus Cup,180,6
+`
+	if _, err := sys.LoadCSV("snacks", strings.NewReader(csv)); err != nil {
+		log.Fatal(err)
+	}
+
+	// A package of exactly 3 snacks totalling at most 500 kcal, with as
+	// much protein as possible. The per-snack cap is a base constraint;
+	// the calorie total and count are global constraints.
+	res, err := sys.Query(`
+		SELECT PACKAGE(S) AS P
+		FROM snacks S
+		WHERE S.kcal <= 250
+		SUCH THAT COUNT(*) = 3 AND SUM(P.kcal) <= 500
+		MAXIMIZE SUM(P.protein)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pb.FormatResult(os.Stdout, sys, res)
+	fmt.Println("done")
+}

@@ -1,0 +1,67 @@
+// Vacation reproduces the paper's §1 vacation-planner scenario: "a
+// couple wants to organize a relaxing vacation at a tropical
+// destination. They do not want to spend more than $2,000 on flights
+// and hotels combined. They also want to be in walking distance from
+// the beach, unless their budget can fit a rental car."
+//
+// The "unless" becomes a disjunctive global constraint — exactly the
+// kind of arbitrary Boolean formula PackageBuilder supports in SUCH
+// THAT — and the per-kind requirements use filtered aggregates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	pb "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	sys := pb.New()
+	err := dataset.LoadVacation(sys.DB(), "items", dataset.VacationConfig{
+		Flights: 25, Hotels: 35, Cars: 12, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One flight, one hotel; total under budget; the hotel is within
+	// 1 km of the beach OR the package includes a rental car. Among all
+	// valid vacations, the cheapest wins.
+	query := `
+		SELECT PACKAGE(V) AS P
+		FROM items V
+		SUCH THAT COUNT(* WHERE P.kind = 'flight') = 1
+		      AND COUNT(* WHERE P.kind = 'hotel') = 1
+		      AND COUNT(* WHERE P.kind = 'car') <= 1
+		      AND COUNT(*) <= 3
+		      AND SUM(P.price) <= 2000
+		      AND (MAX(P.dist WHERE P.kind = 'hotel') <= 1.0
+		           OR COUNT(* WHERE P.kind = 'car') >= 1)
+		MINIMIZE SUM(P.price)`
+
+	fmt.Println("=== cheapest valid vacation ===")
+	res, err := sys.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pb.FormatResult(os.Stdout, sys, res)
+
+	// What if the budget tightens? PaQL sub-queries can pull bounds from
+	// the data itself: stay under the cheapest flight+hotel pair plus 50%.
+	fmt.Println("\n=== alternatives: three diverse vacations under budget ===")
+	res, err = sys.Query(query, pb.WithLimit(3), pb.WithDiverse())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range res.Packages {
+		total := p.AggValues["SUM(V.price)"]
+		fmt.Printf("option %d: $%s —", i+1, total)
+		for _, row := range p.Rows {
+			fmt.Printf(" %s ($%s)", row[2], row[4]) // name, price
+		}
+		fmt.Println()
+	}
+}

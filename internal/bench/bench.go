@@ -1,0 +1,125 @@
+// Package bench is the experiment harness behind cmd/pbench and the
+// root-level Go benchmarks. The 2014 demo paper contains one figure
+// (the interface) and no numeric tables, so — per DESIGN.md §4 — each
+// experiment reproduces one quantitative claim from the paper's text:
+//
+//	F1  §Fig.1  the interface: template, suggestions, 2-D summary
+//	E1  §4.1    cardinality pruning shrinks 2^n to Σ C(n,k), losslessly
+//	E2  §4,7    strategy runtimes and their crossovers
+//	E3  §4.2    k-replacement SQL joins blow up with k
+//	E4  §5      m packages need m re-solves with exclusion cuts
+//	E5  §4.2    local search trades optimality for speed
+//	E6  §2      REPEAT changes feasibility and cost
+//	E7  §5      diverse package results beat top-k on distance
+//
+// Each Run* prints an aligned table to cfg.Out; EXPERIMENTS.md records
+// the measured shapes against the paper's claims.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/minidb"
+)
+
+// Config parameterizes a harness run.
+type Config struct {
+	Out   io.Writer
+	Quick bool  // smaller sweeps for CI / -short
+	Seed  int64 // dataset seed
+}
+
+func (c Config) seed() int64 {
+	if c.Seed == 0 {
+		return 42
+	}
+	return c.Seed
+}
+
+// MealQuery is the paper's running example, used across experiments.
+const MealQuery = `
+	SELECT PACKAGE(R) AS P
+	FROM recipes R
+	WHERE R.gluten = 'free'
+	SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500
+	MAXIMIZE SUM(P.protein)`
+
+// recipesDB builds a database with n recipes.
+func recipesDB(n int, seed int64) (*minidb.DB, error) {
+	db := minidb.New()
+	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: n, Seed: seed}); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func newTable(out io.Writer, headers ...string) *tabwriter.Writer {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	for i, h := range headers {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, h)
+	}
+	fmt.Fprintln(tw)
+	return tw
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+}
+
+// RunAll executes every experiment in order.
+func RunAll(cfg Config) error {
+	steps := []struct {
+		name string
+		fn   func(Config) error
+	}{
+		{"F1", RunF1}, {"E1", RunE1}, {"E2", RunE2}, {"E3", RunE3},
+		{"E4", RunE4}, {"E5", RunE5}, {"E6", RunE6}, {"E7", RunE7},
+	}
+	for _, s := range steps {
+		if err := s.fn(cfg); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	return nil
+}
+
+// Run dispatches one experiment by id (e.g. "e3", "F1", "all").
+func Run(id string, cfg Config) error {
+	switch id {
+	case "all", "ALL", "":
+		return RunAll(cfg)
+	case "f1", "F1":
+		return RunF1(cfg)
+	case "e1", "E1":
+		return RunE1(cfg)
+	case "e2", "E2":
+		return RunE2(cfg)
+	case "e3", "E3":
+		return RunE3(cfg)
+	case "e4", "E4":
+		return RunE4(cfg)
+	case "e5", "E5":
+		return RunE5(cfg)
+	case "e6", "E6":
+		return RunE6(cfg)
+	case "e7", "E7":
+		return RunE7(cfg)
+	}
+	return fmt.Errorf("bench: unknown experiment %q (f1, e1..e7, all)", id)
+}
+
+// evalTimed runs a query under options and reports elapsed wall time.
+func evalTimed(db *minidb.DB, query string, opts core.Options) (*core.Result, time.Duration, error) {
+	start := time.Now()
+	res, err := core.Evaluate(db, query, opts)
+	return res, time.Since(start), err
+}

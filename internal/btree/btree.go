@@ -1,0 +1,352 @@
+// Package btree implements an in-memory B+-tree mapping single-column
+// datum keys to row ids. minidb uses it for secondary indexes: ordered
+// range scans, and O(log n) MIN/MAX column statistics, which the §4.1
+// cardinality-pruning rules need (l = ⌈a/MAX(col)⌉, u = ⌊b/MIN(col)⌋).
+//
+// Keys are ordered by value.V's total sort order. NULL keys are not
+// stored (callers skip NULLs, as SQL indexes do). Duplicate keys share
+// one entry whose row-id list grows. Deletion removes row ids and drops
+// empty entries from leaves without rebalancing — acceptable for an
+// in-memory index whose tables are mostly append-only.
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// degree is the maximum number of entries in a leaf and the maximum
+// number of children of an internal node.
+const degree = 32
+
+// Tree is a B+-tree index. The zero value is not usable; call New.
+type Tree struct {
+	root   node
+	pairs  int // number of (key, rid) pairs
+	uniq   int // number of distinct keys
+	height int
+}
+
+type node interface {
+	// insert adds rid under key, returning a split (newRight, sepKey)
+	// when the node overflowed, or nil.
+	insert(key value.V, rid int32) (node, value.V, bool)
+}
+
+type entry struct {
+	key  value.V
+	rids []int32
+}
+
+type leafNode struct {
+	entries []entry
+	next    *leafNode
+}
+
+type innerNode struct {
+	// keys[i] is the smallest key reachable under children[i+1].
+	keys     []value.V
+	children []node
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &leafNode{}, height: 1}
+}
+
+// Len returns the number of (key, rid) pairs in the tree.
+func (t *Tree) Len() int { return t.pairs }
+
+// KeyCount returns the number of distinct keys.
+func (t *Tree) KeyCount() int { return t.uniq }
+
+// Height returns the tree height (1 for a lone leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Insert adds rid under key. NULL keys are rejected.
+func (t *Tree) Insert(key value.V, rid int32) error {
+	if key.IsNull() {
+		return fmt.Errorf("btree: cannot index NULL keys")
+	}
+	right, sep, grewKey := t.root.insert(key, rid)
+	if grewKey {
+		t.uniq++
+	}
+	t.pairs++
+	if right != nil {
+		t.root = &innerNode{keys: []value.V{sep}, children: []node{t.root, right}}
+		t.height++
+	}
+	return nil
+}
+
+func (n *leafNode) insert(key value.V, rid int32) (node, value.V, bool) {
+	i := n.search(key)
+	if i < len(n.entries) && n.entries[i].key.Equal(key) {
+		n.entries[i].rids = append(n.entries[i].rids, rid)
+		return nil, value.V{}, false
+	}
+	n.entries = append(n.entries, entry{})
+	copy(n.entries[i+1:], n.entries[i:])
+	n.entries[i] = entry{key: key, rids: []int32{rid}}
+	if len(n.entries) <= degree {
+		return nil, value.V{}, true
+	}
+	// Split: right half moves to a new leaf.
+	mid := len(n.entries) / 2
+	right := &leafNode{entries: append([]entry(nil), n.entries[mid:]...), next: n.next}
+	n.entries = n.entries[:mid:mid]
+	n.next = right
+	return right, right.entries[0].key, true
+}
+
+// search returns the first index whose key is >= key.
+func (n *leafNode) search(key value.V) int {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		m := (lo + hi) / 2
+		if n.entries[m].key.SortLess(key) {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+func (n *innerNode) insert(key value.V, rid int32) (node, value.V, bool) {
+	i := n.search(key)
+	right, sep, grew := n.children[i].insert(key, rid)
+	if right == nil {
+		return nil, value.V{}, grew
+	}
+	n.keys = append(n.keys, value.V{})
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+	if len(n.children) <= degree {
+		return nil, value.V{}, grew
+	}
+	// Split the inner node; the middle key moves up.
+	midKey := len(n.keys) / 2
+	upKey := n.keys[midKey]
+	newRight := &innerNode{
+		keys:     append([]value.V(nil), n.keys[midKey+1:]...),
+		children: append([]node(nil), n.children[midKey+1:]...),
+	}
+	n.keys = n.keys[:midKey:midKey]
+	n.children = n.children[: midKey+1 : midKey+1]
+	return newRight, upKey, grew
+}
+
+// search returns the child index to descend into for key.
+func (n *innerNode) search(key value.V) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		m := (lo + hi) / 2
+		// Descend right when key >= keys[m].
+		if key.SortLess(n.keys[m]) {
+			hi = m
+		} else {
+			lo = m + 1
+		}
+	}
+	return lo
+}
+
+// Delete removes rid from key's entry. It reports whether the pair was
+// present. Empty entries are removed from their leaf; no rebalancing.
+func (t *Tree) Delete(key value.V, rid int32) bool {
+	lf, i := t.seekLeaf(key)
+	if lf == nil || i >= len(lf.entries) || !lf.entries[i].key.Equal(key) {
+		return false
+	}
+	e := &lf.entries[i]
+	for j, r := range e.rids {
+		if r == rid {
+			e.rids = append(e.rids[:j], e.rids[j+1:]...)
+			t.pairs--
+			if len(e.rids) == 0 {
+				lf.entries = append(lf.entries[:i], lf.entries[i+1:]...)
+				t.uniq--
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// seekLeaf descends to the leaf that would contain key, returning the
+// leaf and the position of the first entry >= key.
+func (t *Tree) seekLeaf(key value.V) (*leafNode, int) {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *leafNode:
+			return v, v.search(key)
+		case *innerNode:
+			n = v.children[v.search(key)]
+		}
+	}
+}
+
+// Lookup returns the row ids stored under key (nil when absent). The
+// returned slice must not be modified.
+func (t *Tree) Lookup(key value.V) []int32 {
+	if key.IsNull() {
+		return nil
+	}
+	lf, i := t.seekLeaf(key)
+	if i < len(lf.entries) && lf.entries[i].key.Equal(key) {
+		return lf.entries[i].rids
+	}
+	return nil
+}
+
+// Bound describes one end of a range scan.
+type Bound struct {
+	Key       value.V
+	Inclusive bool
+}
+
+// AscendRange visits keys in ascending order within [lo, hi] (either may
+// be nil for unbounded). fn returning false stops the scan.
+func (t *Tree) AscendRange(lo, hi *Bound, fn func(key value.V, rids []int32) bool) {
+	var lf *leafNode
+	var i int
+	if lo == nil {
+		lf = t.leftmostLeaf()
+		i = 0
+	} else {
+		lf, i = t.seekLeaf(lo.Key)
+		// Skip the boundary key itself when exclusive.
+		if !lo.Inclusive && i < len(lf.entries) && lf.entries[i].key.Equal(lo.Key) {
+			i++
+		}
+	}
+	for lf != nil {
+		for ; i < len(lf.entries); i++ {
+			e := lf.entries[i]
+			if hi != nil {
+				cmp, _ := e.key.Compare(hi.Key)
+				if cmp > 0 || (cmp == 0 && !hi.Inclusive) {
+					return
+				}
+			}
+			if !fn(e.key, e.rids) {
+				return
+			}
+		}
+		lf = lf.next
+		i = 0
+	}
+}
+
+// Ascend visits all keys in ascending order.
+func (t *Tree) Ascend(fn func(key value.V, rids []int32) bool) {
+	t.AscendRange(nil, nil, fn)
+}
+
+// Min returns the smallest key, or ok=false when the tree is empty.
+func (t *Tree) Min() (value.V, bool) {
+	lf := t.leftmostLeaf()
+	if len(lf.entries) == 0 {
+		return value.V{}, false
+	}
+	return lf.entries[0].key, true
+}
+
+// Max returns the largest key, or ok=false when the tree is empty.
+func (t *Tree) Max() (value.V, bool) {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *leafNode:
+			// With lazy deletes a rightmost leaf can be empty; walk back
+			// via a full scan only in that rare case.
+			if len(v.entries) > 0 {
+				return v.entries[len(v.entries)-1].key, true
+			}
+			var last value.V
+			found := false
+			t.Ascend(func(k value.V, _ []int32) bool {
+				last, found = k, true
+				return true
+			})
+			return last, found
+		case *innerNode:
+			n = v.children[len(v.children)-1]
+		}
+	}
+}
+
+func (t *Tree) leftmostLeaf() *leafNode {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *leafNode:
+			return v
+		case *innerNode:
+			n = v.children[0]
+		}
+	}
+}
+
+// checkInvariants validates ordering and structure; used by tests.
+func (t *Tree) checkInvariants() error {
+	var prev *value.V
+	count := 0
+	keys := 0
+	var walk func(n node, depth int) (int, error)
+	leafDepth := -1
+	walk = func(n node, depth int) (int, error) {
+		switch v := n.(type) {
+		case *leafNode:
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return 0, fmt.Errorf("btree: leaves at different depths %d vs %d", leafDepth, depth)
+			}
+			return depth, nil
+		case *innerNode:
+			if len(v.children) != len(v.keys)+1 {
+				return 0, fmt.Errorf("btree: inner node with %d keys, %d children", len(v.keys), len(v.children))
+			}
+			for _, c := range v.children {
+				if _, err := walk(c, depth+1); err != nil {
+					return 0, err
+				}
+			}
+			return depth, nil
+		}
+		return 0, fmt.Errorf("btree: unknown node type %T", n)
+	}
+	if _, err := walk(t.root, 1); err != nil {
+		return err
+	}
+	ok := true
+	t.Ascend(func(k value.V, rids []int32) bool {
+		if prev != nil && !prev.SortLess(k) {
+			ok = false
+			return false
+		}
+		kk := k
+		prev = &kk
+		keys++
+		count += len(rids)
+		return true
+	})
+	if !ok {
+		return fmt.Errorf("btree: keys out of order")
+	}
+	if count != t.pairs {
+		return fmt.Errorf("btree: pair count %d != tracked %d", count, t.pairs)
+	}
+	if keys != t.uniq {
+		return fmt.Errorf("btree: key count %d != tracked %d", keys, t.uniq)
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.KeyCount() != 0 || tr.Height() != 1 {
+		t.Errorf("empty tree: len=%d keys=%d h=%d", tr.Len(), tr.KeyCount(), tr.Height())
+	}
+	if _, ok := tr.Min(); ok {
+		t.Error("Min on empty should be !ok")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Error("Max on empty should be !ok")
+	}
+	if got := tr.Lookup(value.Int(1)); got != nil {
+		t.Errorf("Lookup on empty = %v", got)
+	}
+}
+
+func TestInsertLookupSmall(t *testing.T) {
+	tr := New()
+	for i := int32(0); i < 10; i++ {
+		if err := tr.Insert(value.Int(int64(i%5)), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 10 || tr.KeyCount() != 5 {
+		t.Errorf("len=%d keys=%d, want 10, 5", tr.Len(), tr.KeyCount())
+	}
+	rids := tr.Lookup(value.Int(3))
+	if len(rids) != 2 {
+		t.Errorf("Lookup(3) = %v", rids)
+	}
+	if got := tr.Lookup(value.Int(99)); got != nil {
+		t.Errorf("Lookup(99) = %v", got)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertNullRejected(t *testing.T) {
+	tr := New()
+	if err := tr.Insert(value.Null(), 0); err == nil {
+		t.Error("NULL key should be rejected")
+	}
+}
+
+func TestLargeInsertSplitsAndOrder(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(42))
+	n := 5000
+	perm := rng.Perm(n)
+	for _, k := range perm {
+		if err := tr.Insert(value.Int(int64(k)), int32(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n || tr.KeyCount() != n {
+		t.Fatalf("len=%d keys=%d", tr.Len(), tr.KeyCount())
+	}
+	if tr.Height() < 3 {
+		t.Errorf("tree of %d keys should have split; height=%d", n, tr.Height())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	mn, _ := tr.Min()
+	mx, _ := tr.Max()
+	if !mn.Equal(value.Int(0)) || !mx.Equal(value.Int(int64(n-1))) {
+		t.Errorf("min=%v max=%v", mn, mx)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i += 2 { // even keys 0..98
+		_ = tr.Insert(value.Int(int64(i)), int32(i))
+	}
+	collect := func(lo, hi *Bound) []int64 {
+		var out []int64
+		tr.AscendRange(lo, hi, func(k value.V, rids []int32) bool {
+			out = append(out, k.IntVal())
+			return true
+		})
+		return out
+	}
+	got := collect(&Bound{Key: value.Int(10), Inclusive: true}, &Bound{Key: value.Int(20), Inclusive: true})
+	want := []int64{10, 12, 14, 16, 18, 20}
+	if !equalInt64(got, want) {
+		t.Errorf("range [10,20] = %v", got)
+	}
+	got = collect(&Bound{Key: value.Int(10), Inclusive: false}, &Bound{Key: value.Int(20), Inclusive: false})
+	want = []int64{12, 14, 16, 18}
+	if !equalInt64(got, want) {
+		t.Errorf("range (10,20) = %v", got)
+	}
+	// boundary not present in tree
+	got = collect(&Bound{Key: value.Int(11), Inclusive: true}, &Bound{Key: value.Int(15), Inclusive: true})
+	want = []int64{12, 14}
+	if !equalInt64(got, want) {
+		t.Errorf("range [11,15] = %v", got)
+	}
+	// unbounded below
+	got = collect(nil, &Bound{Key: value.Int(4), Inclusive: true})
+	want = []int64{0, 2, 4}
+	if !equalInt64(got, want) {
+		t.Errorf("range (-inf,4] = %v", got)
+	}
+	// unbounded above
+	got = collect(&Bound{Key: value.Int(94), Inclusive: true}, nil)
+	want = []int64{94, 96, 98}
+	if !equalInt64(got, want) {
+		t.Errorf("range [94,inf) = %v", got)
+	}
+	// early stop
+	n := 0
+	tr.Ascend(func(value.V, []int32) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func equalInt64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for i := int32(0); i < 200; i++ {
+		_ = tr.Insert(value.Int(int64(i)), i)
+		_ = tr.Insert(value.Int(int64(i)), i+1000)
+	}
+	if !tr.Delete(value.Int(5), 5) {
+		t.Error("delete existing pair failed")
+	}
+	if tr.Delete(value.Int(5), 5) {
+		t.Error("double delete should fail")
+	}
+	if got := tr.Lookup(value.Int(5)); len(got) != 1 || got[0] != 1005 {
+		t.Errorf("after delete Lookup(5) = %v", got)
+	}
+	if !tr.Delete(value.Int(5), 1005) {
+		t.Error("delete second rid failed")
+	}
+	if got := tr.Lookup(value.Int(5)); got != nil {
+		t.Errorf("key should be gone, got %v", got)
+	}
+	if tr.Delete(value.Int(9999), 1) {
+		t.Error("delete absent key should fail")
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+	if tr.Len() != 398 || tr.KeyCount() != 199 {
+		t.Errorf("len=%d keys=%d", tr.Len(), tr.KeyCount())
+	}
+}
+
+func TestMixedKeyTypes(t *testing.T) {
+	tr := New()
+	_ = tr.Insert(value.Str("b"), 1)
+	_ = tr.Insert(value.Str("a"), 2)
+	_ = tr.Insert(value.Float(1.5), 3)
+	_ = tr.Insert(value.Int(2), 4)
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Numeric keys interleave correctly: 1.5 < 2
+	var keys []string
+	tr.Ascend(func(k value.V, _ []int32) bool {
+		keys = append(keys, k.String())
+		return true
+	})
+	if len(keys) != 4 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if keys[0] != "1.5" || keys[1] != "2" {
+		t.Errorf("numeric order broken: %v", keys)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New()
+	words := []string{"pasta", "salad", "burger", "taco", "ramen", "pizza"}
+	for i, w := range words {
+		_ = tr.Insert(value.Str(w), int32(i))
+	}
+	sorted := append([]string(nil), words...)
+	sort.Strings(sorted)
+	var got []string
+	tr.Ascend(func(k value.V, _ []int32) bool {
+		got = append(got, k.StrVal())
+		return true
+	})
+	for i := range sorted {
+		if got[i] != sorted[i] {
+			t.Fatalf("order = %v, want %v", got, sorted)
+		}
+	}
+}
+
+// Property: a tree built from any int slice yields the same sorted
+// distinct keys as a map-based oracle, and Len matches the input size.
+func TestPropMatchesOracle(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := New()
+		oracle := map[int64][]int32{}
+		for i, k := range keys {
+			_ = tr.Insert(value.Int(int64(k)), int32(i))
+			oracle[int64(k)] = append(oracle[int64(k)], int32(i))
+		}
+		if tr.Len() != len(keys) || tr.KeyCount() != len(oracle) {
+			return false
+		}
+		if err := tr.checkInvariants(); err != nil {
+			return false
+		}
+		ok := true
+		tr.Ascend(func(k value.V, rids []int32) bool {
+			want := oracle[k.IntVal()]
+			if len(want) != len(rids) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after random deletes, remaining pairs match the oracle.
+func TestPropDeleteMatchesOracle(t *testing.T) {
+	f := func(keys []uint8, dels []uint8) bool {
+		tr := New()
+		type pair struct {
+			k int64
+			r int32
+		}
+		alive := map[pair]bool{}
+		for i, k := range keys {
+			_ = tr.Insert(value.Int(int64(k)), int32(i))
+			alive[pair{int64(k), int32(i)}] = true
+		}
+		for j, d := range dels {
+			p := pair{int64(d), int32(j)}
+			got := tr.Delete(value.Int(p.k), p.r)
+			if got != alive[p] {
+				return false
+			}
+			delete(alive, p)
+		}
+		return tr.Len() == len(alive) && tr.checkInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Insert(value.Int(int64(i%100000)), int32(i))
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tr := New()
+	for i := int32(0); i < 100000; i++ {
+		_ = tr.Insert(value.Int(int64(i)), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(value.Int(int64(i % 100000)))
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+// DiverseSelect picks k packages from a candidate list maximizing
+// pairwise diversity with the classic greedy max-min heuristic:
+// start from the first (best-objective) package, then repeatedly add
+// the package whose minimum Jaccard distance to the selected set is
+// largest. This implements the paper's §5 "diverse package results"
+// direction: rather than burying the user in near-identical top
+// answers, surface structurally different ones.
+func DiverseSelect(mults [][]int, k int) [][]int {
+	if k <= 0 || len(mults) <= k {
+		return mults
+	}
+	selected := [][]int{mults[0]}
+	used := map[int]bool{0: true}
+	for len(selected) < k {
+		bestIdx := -1
+		bestDist := -1.0
+		for i, m := range mults {
+			if used[i] {
+				continue
+			}
+			minDist := 2.0
+			for _, s := range selected {
+				d := JaccardDistance(m, s)
+				if d < minDist {
+					minDist = d
+				}
+			}
+			if minDist > bestDist {
+				bestDist = minDist
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		used[bestIdx] = true
+		selected = append(selected, mults[bestIdx])
+	}
+	return selected
+}
+
+// JaccardDistance is 1 − |A∩B|/|A∪B| over multisets of tuples
+// (multiplicity-aware: intersection takes per-tuple minima, union
+// maxima). Identical packages have distance 0; disjoint ones 1.
+func JaccardDistance(a, b []int) float64 {
+	inter, union := 0, 0
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		av, bv := 0, 0
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		if av < bv {
+			inter += av
+			union += bv
+		} else {
+			inter += bv
+			union += av
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+// MinPairwiseDistance reports the smallest Jaccard distance among all
+// pairs — the quantity the E7 diversity experiment tracks.
+func MinPairwiseDistance(mults [][]int) float64 {
+	if len(mults) < 2 {
+		return 1
+	}
+	best := 2.0
+	for i := 0; i < len(mults); i++ {
+		for j := i + 1; j < len(mults); j++ {
+			d := JaccardDistance(mults[i], mults[j])
+			if d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// MeanPairwiseDistance is the average pairwise Jaccard distance.
+func MeanPairwiseDistance(mults [][]int) float64 {
+	if len(mults) < 2 {
+		return 0
+	}
+	sum, cnt := 0.0, 0
+	for i := 0; i < len(mults); i++ {
+		for j := i + 1; j < len(mults); j++ {
+			sum += JaccardDistance(mults[i], mults[j])
+			cnt++
+		}
+	}
+	return sum / float64(cnt)
+}

@@ -1,0 +1,295 @@
+// Package engine is PackageBuilder's core: it parses PaQL, folds scalar
+// sub-queries against the DBMS, computes the candidate tuples (base
+// constraints), derives §4.1 cardinality bounds, chooses an evaluation
+// strategy ("PACKAGEBUILDER heuristically combines all of them"), and
+// returns validated packages with their aggregate values.
+//
+// Strategies:
+//   - Solver: translate to MILP and branch-and-bound (§7); multiple
+//     packages via exclusion cuts (§5 "solver limitations"); optionally
+//     warm-started with a local-search incumbent (hybrid).
+//   - PrunedEnum: exact enumeration within cardinality bounds (§4.1).
+//   - LocalSearchStrategy: SQL-join k-replacement hill climbing (§4.2).
+//   - BruteForceStrategy: the 2^n baseline, for ground truth.
+//   - Auto: pick by linearity and scale.
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/minidb"
+	"repro/internal/paql"
+	"repro/internal/prune"
+	"repro/internal/schema"
+	"repro/internal/search"
+	"repro/internal/value"
+)
+
+// Strategy selects how a package query is evaluated.
+type Strategy int
+
+const (
+	// Auto lets the engine choose (linearity- and scale-driven).
+	Auto Strategy = iota
+	// BruteForceStrategy enumerates every multiplicity vector.
+	BruteForceStrategy
+	// PrunedEnum enumerates within §4.1 cardinality bounds.
+	PrunedEnum
+	// LocalSearchStrategy is the §4.2 SQL-driven heuristic.
+	LocalSearchStrategy
+	// Solver translates to a MILP and runs branch-and-bound.
+	Solver
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case BruteForceStrategy:
+		return "brute-force"
+	case PrunedEnum:
+		return "pruned-enum"
+	case LocalSearchStrategy:
+		return "local-search"
+	case Solver:
+		return "solver"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Options tunes evaluation.
+type Options struct {
+	Strategy Strategy
+	// Limit overrides the query's LIMIT (number of packages).
+	Limit int
+	// Timeout bounds the whole evaluation.
+	Timeout time.Duration
+	// Seed drives the randomized strategies.
+	Seed int64
+	// Restarts and MaxK tune local search.
+	Restarts int
+	MaxK     int
+	// Diverse returns a diverse package set (max-min Jaccard greedy)
+	// instead of the top-k by objective (§5 "diverse package results").
+	Diverse bool
+	// OverFetch multiplies the number of packages gathered before
+	// diverse selection (default 4).
+	OverFetch int
+	// SolverNodes caps branch-and-bound nodes (0 = default).
+	SolverNodes int
+	// NoHybridSeed disables warm-starting the solver with a
+	// local-search incumbent (ablation).
+	NoHybridSeed bool
+	// DisablePruning turns off §4.1 bounds in enumeration (ablation).
+	DisablePruning bool
+	// ComputeSpace fills Stats.SpacePruned/SpaceFull (costs a few
+	// binomials; on by default for n ≤ 4096).
+	ComputeSpace bool
+	// Require lists candidate indexes (positions in the candidate set,
+	// not base-table row ids) that must appear in every package —
+	// adaptive exploration (§3.3) pins kept tuples through this.
+	Require []int
+}
+
+// Package is one evaluated package.
+type Package struct {
+	Mult         []int              // multiplicity per candidate
+	CandidateIDs []int              // base-table row ids per candidate
+	Rows         []schema.Row       // materialized tuples (repeated per multiplicity)
+	Objective    float64            // objective value (0 when none)
+	AggValues    map[string]value.V // each aggregate's value, keyed by its PaQL text
+}
+
+// TupleIDs expands to base-table row ids with multiplicity.
+func (p *Package) TupleIDs() []int {
+	var out []int
+	for i, m := range p.Mult {
+		for k := 0; k < m; k++ {
+			out = append(out, p.CandidateIDs[i])
+		}
+	}
+	return out
+}
+
+// Size is the number of tuples in the package.
+func (p *Package) Size() int {
+	n := 0
+	for _, m := range p.Mult {
+		n += m
+	}
+	return n
+}
+
+// Stats describes how an evaluation went.
+type Stats struct {
+	Candidates  int          // tuples passing base constraints
+	Bounds      prune.Bounds // §4.1 cardinality bounds
+	SpacePruned *big.Int     // Σ C(n,k) within bounds (nil unless computed)
+	SpaceFull   *big.Int     // 2^n (nil unless computed)
+	Linear      bool         // MILP-translatable
+	Strategy    Strategy     // strategy actually used
+	Exact       bool         // result is provably optimal/complete
+	Nodes       int64        // search nodes or MILP B&B nodes
+	LPIters     int          // simplex iterations (solver)
+	SQLQueries  int          // replacement queries (local search)
+	Restarts    int          // local-search restarts
+	Elapsed     time.Duration
+	Notes       []string // strategy decisions, fallbacks, caveats
+}
+
+// Result is the evaluation outcome.
+type Result struct {
+	Query    *paql.Query
+	Packages []*Package
+	Stats    Stats
+}
+
+// Prepared is a query bound to its candidates, ready to run (possibly
+// multiple times with different options — the bench harness relies on
+// this).
+type Prepared struct {
+	DB       *minidb.DB
+	Query    *paql.Query
+	Analysis *paql.Analysis
+	Table    *minidb.Table
+	Instance *search.Instance
+}
+
+// Prepare parses, folds sub-queries, analyzes, and computes candidates.
+func Prepare(db *minidb.DB, queryText string) (*Prepared, error) {
+	q, err := paql.Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	return PrepareQuery(db, q)
+}
+
+// PrepareQuery is Prepare for an already-parsed query.
+func PrepareQuery(db *minidb.DB, q *paql.Query) (*Prepared, error) {
+	table, ok := db.Table(q.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: relation %q does not exist", q.Table)
+	}
+	if err := foldSubqueries(db, q); err != nil {
+		return nil, err
+	}
+	analysis, err := paql.Analyze(q, table.Schema)
+	if err != nil {
+		return nil, err
+	}
+	// Candidate tuples: those satisfying the base constraints (WHERE).
+	var rows []schema.Row
+	var ids []int
+	for rid, row := range table.Rows {
+		if q.Where != nil {
+			ok, err := expr.EvalBool(q.Where, row)
+			if err != nil {
+				return nil, fmt.Errorf("engine: base constraint: %w", err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		rows = append(rows, row)
+		ids = append(ids, rid)
+	}
+	inst, err := search.NewInstance(analysis, rows, ids)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{DB: db, Query: q, Analysis: analysis, Table: table, Instance: inst}, nil
+}
+
+// foldSubqueries evaluates scalar SQL sub-queries in SUCH THAT and the
+// objective against the DBMS and replaces them with constants.
+func foldSubqueries(db *minidb.DB, q *paql.Query) error {
+	var firstErr error
+	fold := func(e expr.Expr) expr.Expr {
+		if e == nil {
+			return nil
+		}
+		return expr.Transform(e, func(n expr.Expr) expr.Expr {
+			sq, ok := n.(*paql.Subquery)
+			if !ok {
+				return nil
+			}
+			res, err := db.Query(sq.SQL)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("engine: sub-query (%s): %w", sq.SQL, err)
+				}
+				return &expr.Const{Val: value.Null()}
+			}
+			if res.Schema.Len() != 1 || len(res.Rows) > 1 {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("engine: sub-query (%s) must return one scalar", sq.SQL)
+				}
+				return &expr.Const{Val: value.Null()}
+			}
+			if len(res.Rows) == 0 {
+				return &expr.Const{Val: value.Null()}
+			}
+			return &expr.Const{Val: res.Rows[0][0]}
+		})
+	}
+	q.SuchThat = fold(q.SuchThat)
+	if q.Objective != nil {
+		q.Objective.Expr = fold(q.Objective.Expr)
+	}
+	return firstErr
+}
+
+// Evaluate runs a PaQL query end to end.
+func Evaluate(db *minidb.DB, queryText string, opts Options) (*Result, error) {
+	prep, err := Prepare(db, queryText)
+	if err != nil {
+		return nil, err
+	}
+	return prep.Run(opts)
+}
+
+// limit resolves the number of packages to return.
+func (p *Prepared) limit(opts Options) int {
+	if opts.Limit > 0 {
+		return opts.Limit
+	}
+	if p.Query.Limit > 0 {
+		return p.Query.Limit
+	}
+	return 1
+}
+
+// buildPackage materializes and validates one package.
+func (p *Prepared) buildPackage(mult []int) (*Package, error) {
+	inst := p.Instance
+	rows := inst.Materialize(mult)
+	ok, err := paql.Satisfies(p.Query.SuchThat, rows)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("engine: internal error: strategy returned an invalid package")
+	}
+	obj, err := paql.ObjectiveValue(p.Query.Objective, rows)
+	if err != nil && p.Query.Objective != nil {
+		return nil, err
+	}
+	aggs := map[string]value.V{}
+	for _, a := range p.Analysis.Aggs {
+		v, err := paql.EvalAgg(a, rows)
+		if err != nil {
+			return nil, err
+		}
+		aggs[a.String()] = v
+	}
+	return &Package{
+		Mult:         mult,
+		CandidateIDs: inst.IDs,
+		Rows:         rows,
+		Objective:    obj,
+		AggValues:    aggs,
+	}, nil
+}

@@ -1,0 +1,386 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/minidb"
+	"repro/internal/value"
+)
+
+func testDB(t *testing.T) *minidb.DB {
+	t.Helper()
+	db := minidb.New()
+	stmts := []string{
+		`CREATE TABLE recipes (id INT, name TEXT, gluten TEXT, calories FLOAT, protein FLOAT, price FLOAT)`,
+		`INSERT INTO recipes VALUES
+			(1, 'Oatmeal',   'free', 300, 10, 4),
+			(2, 'Pasta',     'full', 550, 18, 7),
+			(3, 'Salad',     'free', 150, 4,  6),
+			(4, 'Chicken',   'free', 420, 38, 11),
+			(5, 'Burger',    'full', 800, 30, 9),
+			(6, 'Tofu Bowl', 'free', 380, 22, 8),
+			(7, 'Smoothie',  'free', 200, 6,  5),
+			(8, 'Steak',     'free', 650, 45, 15),
+			(9, 'Curry',     'free', 500, 21, 9),
+			(10,'Wrap',      'free', 350, 15, 6)`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+const mealQuery = `
+	SELECT PACKAGE(R) AS P
+	FROM recipes R
+	WHERE R.gluten = 'free'
+	SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 1200 AND 1600
+	MAXIMIZE SUM(P.protein)`
+
+func TestStrategiesAgreeOnOptimum(t *testing.T) {
+	db := testDB(t)
+	var exact float64
+	for i, strat := range []Strategy{Solver, PrunedEnum, BruteForceStrategy} {
+		res, err := Evaluate(db, mealQuery, Options{Strategy: strat})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if len(res.Packages) != 1 {
+			t.Fatalf("%v: %d packages", strat, len(res.Packages))
+		}
+		if !res.Stats.Exact {
+			t.Errorf("%v should be exact", strat)
+		}
+		if i == 0 {
+			exact = res.Packages[0].Objective
+		} else if math.Abs(res.Packages[0].Objective-exact) > 1e-6 {
+			t.Errorf("%v objective %g != solver %g", strat, res.Packages[0].Objective, exact)
+		}
+		if res.Stats.Strategy != strat {
+			t.Errorf("stats.Strategy = %v, want %v", res.Stats.Strategy, strat)
+		}
+	}
+	// Local search never beats exact.
+	res, err := Evaluate(db, mealQuery, Options{Strategy: LocalSearchStrategy, Restarts: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Packages) > 0 && res.Packages[0].Objective > exact+1e-9 {
+		t.Errorf("local search %g beats exact %g", res.Packages[0].Objective, exact)
+	}
+	if res.Stats.SQLQueries == 0 {
+		t.Error("local search stats missing SQL query count")
+	}
+}
+
+func TestAutoChoosesSolverForLinear(t *testing.T) {
+	db := testDB(t)
+	res, err := Evaluate(db, mealQuery, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Strategy != Solver {
+		t.Errorf("auto chose %v, want solver", res.Stats.Strategy)
+	}
+	if !res.Stats.Linear {
+		t.Error("meal query should be linear")
+	}
+	found := false
+	for _, n := range res.Stats.Notes {
+		if strings.Contains(n, "auto") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("auto decision not recorded: %v", res.Stats.Notes)
+	}
+}
+
+func TestAutoFallsBackForNonlinear(t *testing.T) {
+	db := testDB(t)
+	q := `
+		SELECT PACKAGE(R) AS P FROM recipes R
+		SUCH THAT COUNT(*) = 2 AND SUM(P.calories) * SUM(P.protein) <= 50000
+		MAXIMIZE SUM(P.protein)`
+	res, err := Evaluate(db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Strategy != PrunedEnum {
+		t.Errorf("auto chose %v for small non-linear query, want pruned-enum", res.Stats.Strategy)
+	}
+	if res.Stats.Linear {
+		t.Error("query should be non-linear")
+	}
+	if len(res.Packages) != 1 {
+		t.Fatalf("packages = %d", len(res.Packages))
+	}
+	// validate the product constraint truly holds
+	p := res.Packages[0]
+	cal, _ := p.AggValues["SUM(R.calories)"].AsFloat()
+	prot, _ := p.AggValues["SUM(R.protein)"].AsFloat()
+	if cal*prot > 50000+1e-6 {
+		t.Errorf("nonlinear constraint violated: %g * %g", cal, prot)
+	}
+}
+
+func TestSolverRequestedForNonlinearFallsBack(t *testing.T) {
+	db := testDB(t)
+	q := `
+		SELECT PACKAGE(R) AS P FROM recipes R
+		SUCH THAT COUNT(*) = 2 AND SUM(P.calories) * SUM(P.protein) <= 50000`
+	res, err := Evaluate(db, q, Options{Strategy: Solver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Strategy == Solver {
+		t.Error("solver cannot run non-linear queries; engine should fall back")
+	}
+	noteOK := false
+	for _, n := range res.Stats.Notes {
+		if strings.Contains(n, "falling back") {
+			noteOK = true
+		}
+	}
+	if !noteOK {
+		t.Errorf("fallback not explained: %v", res.Stats.Notes)
+	}
+}
+
+func TestMultiplePackagesViaExclusionCuts(t *testing.T) {
+	db := testDB(t)
+	q := strings.Replace(mealQuery, "MAXIMIZE SUM(P.protein)", "MAXIMIZE SUM(P.protein)\nLIMIT 4", 1)
+	res, err := Evaluate(db, q, Options{Strategy: Solver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Packages) != 4 {
+		t.Fatalf("packages = %d, want 4", len(res.Packages))
+	}
+	seen := map[string]bool{}
+	prev := math.Inf(1)
+	for _, p := range res.Packages {
+		key := ""
+		for _, id := range p.TupleIDs() {
+			key += string(rune('a' + id))
+		}
+		if seen[key] {
+			t.Error("duplicate package across exclusion cuts")
+		}
+		seen[key] = true
+		if p.Objective > prev+1e-9 {
+			t.Error("packages should be non-increasing in objective")
+		}
+		prev = p.Objective
+	}
+}
+
+func TestDiverseSelection(t *testing.T) {
+	db := testDB(t)
+	q := `
+		SELECT PACKAGE(R) AS P FROM recipes R
+		SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 900 AND 2000
+		MAXIMIZE SUM(P.protein) LIMIT 3`
+	topk, err := Evaluate(db, q, Options{Strategy: Solver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverse, err := Evaluate(db, q, Options{Strategy: Solver, Diverse: true, OverFetch: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topk.Packages) != 3 || len(diverse.Packages) != 3 {
+		t.Fatalf("sizes: %d, %d", len(topk.Packages), len(diverse.Packages))
+	}
+	dist := func(pkgs []*Package) float64 {
+		var mults [][]int
+		for _, p := range pkgs {
+			mults = append(mults, p.Mult)
+		}
+		return MinPairwiseDistance(mults)
+	}
+	if dist(diverse.Packages) < dist(topk.Packages)-1e-9 {
+		t.Errorf("diverse min-distance %g < top-k %g", dist(diverse.Packages), dist(topk.Packages))
+	}
+}
+
+func TestSubqueryFolding(t *testing.T) {
+	db := testDB(t)
+	q := `
+		SELECT PACKAGE(R) AS P FROM recipes R
+		SUCH THAT COUNT(*) = 2 AND SUM(P.calories) <= (SELECT MAX(calories) FROM recipes)
+		MAXIMIZE SUM(P.protein)`
+	res, err := Evaluate(db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Packages) != 1 {
+		t.Fatalf("packages = %d", len(res.Packages))
+	}
+	cal, _ := res.Packages[0].AggValues["SUM(R.calories)"].AsFloat()
+	if cal > 800 {
+		t.Errorf("folded bound violated: %g > 800", cal)
+	}
+	// failing subquery surfaces
+	if _, err := Evaluate(db, `
+		SELECT PACKAGE(R) AS P FROM recipes R
+		SUCH THAT COUNT(*) = (SELECT id FROM recipes)`, Options{}); err == nil {
+		t.Error("multi-row subquery should fail")
+	}
+}
+
+func TestInfeasibleQueryReturnsEmpty(t *testing.T) {
+	db := testDB(t)
+	q := `
+		SELECT PACKAGE(R) AS P FROM recipes R
+		SUCH THAT COUNT(*) = 2 AND COUNT(*) = 5`
+	res, err := Evaluate(db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Packages) != 0 || !res.Stats.Exact {
+		t.Errorf("infeasible query: %d packages, exact=%v", len(res.Packages), res.Stats.Exact)
+	}
+	if !res.Stats.Bounds.IsInfeasible() {
+		t.Errorf("bounds = %v", res.Stats.Bounds)
+	}
+}
+
+func TestRepeatQueryThroughEngine(t *testing.T) {
+	db := testDB(t)
+	q := `
+		SELECT PACKAGE(R) AS P FROM recipes R REPEAT 2
+		WHERE R.gluten = 'free'
+		SUCH THAT COUNT(*) = 3 AND SUM(P.protein) >= 130
+		MAXIMIZE SUM(P.protein)`
+	res, err := Evaluate(db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Packages) != 1 {
+		t.Fatalf("packages = %d", len(res.Packages))
+	}
+	// optimum repeats Steak (45 protein) three times
+	if res.Packages[0].Objective != 135 {
+		t.Errorf("objective = %g, want 135 (3x Steak)", res.Packages[0].Objective)
+	}
+	maxMult := 0
+	for _, m := range res.Packages[0].Mult {
+		if m > maxMult {
+			maxMult = m
+		}
+	}
+	if maxMult != 3 {
+		t.Errorf("max multiplicity = %d, want 3", maxMult)
+	}
+}
+
+func TestBaseConstraintsFilterCandidates(t *testing.T) {
+	db := testDB(t)
+	res, err := Evaluate(db, mealQuery, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Candidates != 8 { // 10 recipes, 2 with gluten
+		t.Errorf("candidates = %d, want 8", res.Stats.Candidates)
+	}
+	for _, row := range res.Packages[0].Rows {
+		if row[2].StrVal() != "free" {
+			t.Errorf("package contains non-free tuple: %v", row)
+		}
+	}
+}
+
+func TestStatsSpaceAndAggValues(t *testing.T) {
+	db := testDB(t)
+	res, err := Evaluate(db, mealQuery, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SpaceFull == nil || res.Stats.SpacePruned == nil {
+		t.Fatal("space sizes not computed")
+	}
+	if res.Stats.SpaceFull.Cmp(res.Stats.SpacePruned) <= 0 {
+		t.Errorf("full space %v should exceed pruned %v", res.Stats.SpaceFull, res.Stats.SpacePruned)
+	}
+	p := res.Packages[0]
+	if v, ok := p.AggValues["COUNT(*)"]; !ok || !v.Equal(value.Int(3)) {
+		t.Errorf("COUNT(*) agg = %v", v)
+	}
+	if p.Size() != 3 || len(p.Rows) != 3 || len(p.TupleIDs()) != 3 {
+		t.Errorf("package shape: size=%d rows=%d ids=%d", p.Size(), len(p.Rows), len(p.TupleIDs()))
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	db := testDB(t)
+	if _, err := Evaluate(db, `SELECT PACKAGE(R) AS P FROM nope R`, Options{}); err == nil {
+		t.Error("unknown relation should fail")
+	}
+	if _, err := Evaluate(db, `garbage`, Options{}); err == nil {
+		t.Error("parse error should surface")
+	}
+	if _, err := Evaluate(db, `
+		SELECT PACKAGE(R) AS P FROM recipes R
+		SUCH THAT SUM(P.nope) <= 3`, Options{}); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestDiverseSelectHelpers(t *testing.T) {
+	a := []int{1, 1, 0, 0}
+	b := []int{1, 1, 0, 0}
+	c := []int{0, 0, 1, 1}
+	d := []int{1, 0, 1, 0}
+	if JaccardDistance(a, b) != 0 {
+		t.Error("identical packages should have distance 0")
+	}
+	if JaccardDistance(a, c) != 1 {
+		t.Error("disjoint packages should have distance 1")
+	}
+	got := JaccardDistance(a, d) // inter 1, union 3
+	if math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("distance = %g", got)
+	}
+	sel := DiverseSelect([][]int{a, b, c, d}, 2)
+	if len(sel) != 2 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	// first is a; most distant from a is c
+	if JaccardDistance(sel[0], sel[1]) != 1 {
+		t.Errorf("diverse pick suboptimal: %v", sel)
+	}
+	// k >= len passes through
+	if len(DiverseSelect([][]int{a, c}, 5)) != 2 {
+		t.Error("overlarge k should pass through")
+	}
+	// multiplicity-aware distance
+	if d := JaccardDistance([]int{2, 0}, []int{1, 1}); math.Abs(d-2.0/3) > 1e-9 {
+		t.Errorf("multiset distance = %g", d)
+	}
+	if MinPairwiseDistance([][]int{a}) != 1 {
+		t.Error("single package min distance should be 1")
+	}
+	if MeanPairwiseDistance([][]int{a, b, c}) == 0 {
+		t.Error("mean distance should be positive")
+	}
+}
+
+func TestHybridSeedAblation(t *testing.T) {
+	db := testDB(t)
+	with, err := Evaluate(db, mealQuery, Options{Strategy: Solver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Evaluate(db, mealQuery, Options{Strategy: Solver, NoHybridSeed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(with.Packages[0].Objective-without.Packages[0].Objective) > 1e-9 {
+		t.Error("hybrid seeding changed the optimum")
+	}
+}

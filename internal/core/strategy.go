@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/milp"
+	"repro/internal/prune"
+	"repro/internal/search"
+	"repro/internal/translate"
+)
+
+// autoThreshold is the candidate count up to which exact enumeration is
+// preferred for non-linear queries; beyond it the engine falls back to
+// local search.
+const autoThreshold = 22
+
+// Run evaluates the prepared query under the given options.
+func (p *Prepared) Run(opts Options) (*Result, error) {
+	start := time.Now()
+	inst := p.Instance
+	res := &Result{Query: p.Query}
+	res.Stats.Candidates = len(inst.Rows)
+	res.Stats.Bounds = inst.Bounds
+	res.Stats.Linear = p.Analysis.Linear
+	limit := p.limit(opts)
+	fetch := limit
+	if opts.Diverse {
+		over := opts.OverFetch
+		if over <= 0 {
+			over = 4
+		}
+		fetch = limit * over
+	}
+	if opts.ComputeSpace || len(inst.Rows) <= 4096 {
+		pr, full := prune.SpaceSize(len(inst.Rows), inst.Bounds)
+		res.Stats.SpacePruned, res.Stats.SpaceFull = pr, full
+	}
+
+	// Provably-empty space: exact empty answer.
+	if inst.Bounds.IsInfeasible() {
+		res.Stats.Strategy = PrunedEnum
+		res.Stats.Exact = true
+		res.Stats.Notes = append(res.Stats.Notes, "cardinality bounds are contradictory; no package can satisfy the query")
+		res.Stats.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	strat := opts.Strategy
+	if strat == Auto {
+		strat = p.chooseStrategy(&res.Stats, opts)
+	}
+	if strat == Solver && !p.Analysis.Linear {
+		res.Stats.Notes = append(res.Stats.Notes,
+			fmt.Sprintf("solver unavailable (non-linear: %v); falling back to search", p.Analysis.NonlinearReasons))
+		if len(inst.Rows) <= autoThreshold {
+			strat = PrunedEnum
+		} else {
+			strat = LocalSearchStrategy
+		}
+	}
+	res.Stats.Strategy = strat
+
+	var mults [][]int
+	var err error
+	switch strat {
+	case BruteForceStrategy:
+		mults, err = p.runEnum(res, opts, fetch, true)
+	case PrunedEnum:
+		mults, err = p.runEnum(res, opts, fetch, false)
+	case LocalSearchStrategy:
+		mults, err = p.runLocal(res, opts, fetch)
+	case Solver:
+		mults, err = p.runSolver(res, opts, fetch)
+	default:
+		err = fmt.Errorf("engine: unknown strategy %v", strat)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if opts.Diverse && len(mults) > limit {
+		mults = DiverseSelect(mults, limit)
+		res.Stats.Notes = append(res.Stats.Notes, "diverse selection applied (max-min Jaccard greedy)")
+	}
+	if len(mults) > limit {
+		mults = mults[:limit]
+	}
+	for _, m := range mults {
+		pkg, err := p.buildPackage(m)
+		if err != nil {
+			return nil, err
+		}
+		res.Packages = append(res.Packages, pkg)
+	}
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// chooseStrategy implements Auto: solver for linear queries (exact and
+// scalable), exact enumeration for small non-linear ones, local search
+// otherwise.
+func (p *Prepared) chooseStrategy(st *Stats, opts Options) Strategy {
+	n := len(p.Instance.Rows)
+	switch {
+	case p.Analysis.Linear && p.Instance.MaxMult > 0:
+		st.Notes = append(st.Notes, "auto: linear query -> MILP solver")
+		return Solver
+	case p.Analysis.Linear:
+		// unlimited multiplicity still fine for the solver (no
+		// disjunction big-M requirement checked in translate)
+		st.Notes = append(st.Notes, "auto: linear query (unbounded REPEAT) -> MILP solver")
+		return Solver
+	case n <= autoThreshold && p.Instance.MaxMult > 0:
+		st.Notes = append(st.Notes, fmt.Sprintf("auto: non-linear query, %d candidates -> exact pruned enumeration", n))
+		return PrunedEnum
+	default:
+		st.Notes = append(st.Notes, fmt.Sprintf("auto: non-linear query, %d candidates -> heuristic local search", n))
+		return LocalSearchStrategy
+	}
+}
+
+func (p *Prepared) runEnum(res *Result, opts Options, fetch int, brute bool) ([][]int, error) {
+	sopt := search.Options{
+		Limit:          fetch,
+		Timeout:        opts.Timeout,
+		Seed:           opts.Seed,
+		DisablePruning: opts.DisablePruning || brute,
+		Require:        opts.Require,
+	}
+	var sres *search.Result
+	var err error
+	if brute {
+		sres, err = search.BruteForce(p.Instance, sopt)
+	} else {
+		sres, err = search.PrunedEnumerate(p.Instance, sopt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Nodes = sres.Examined
+	res.Stats.Exact = sres.Complete
+	if !sres.Complete {
+		res.Stats.Notes = append(res.Stats.Notes, "enumeration hit its budget; result may be suboptimal")
+	}
+	var mults [][]int
+	for _, pk := range sres.Packages {
+		mults = append(mults, pk.Mult)
+	}
+	return mults, nil
+}
+
+func (p *Prepared) runLocal(res *Result, opts Options, fetch int) ([][]int, error) {
+	sres, err := search.LocalSearch(p.Instance, p.DB, search.Options{
+		Limit:    fetch,
+		Timeout:  opts.Timeout,
+		Seed:     opts.Seed,
+		Restarts: opts.Restarts,
+		MaxK:     opts.MaxK,
+		Require:  opts.Require,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Nodes = sres.Examined
+	res.Stats.SQLQueries = sres.Queries
+	res.Stats.Restarts = sres.Restarts
+	res.Stats.Exact = false
+	res.Stats.Notes = append(res.Stats.Notes, "local search is heuristic: packages may be suboptimal and the set incomplete")
+	var mults [][]int
+	for _, pk := range sres.Packages {
+		mults = append(mults, pk.Mult)
+	}
+	return mults, nil
+}
+
+func (p *Prepared) runSolver(res *Result, opts Options, fetch int) ([][]int, error) {
+	model, err := translate.Translate(p.Analysis, p.Instance.Rows, p.Instance.IDs)
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range opts.Require {
+		if err := model.RequireTuple(i); err != nil {
+			return nil, err
+		}
+	}
+	mopts := milp.Options{MaxNodes: opts.SolverNodes, TimeLimit: opts.Timeout}
+	// Hybrid warm start: hand the solver a local-search incumbent so
+	// bound pruning bites immediately. Only valid when the model has no
+	// indicator variables (their values are not part of a package).
+	if !opts.NoHybridSeed && model.NumIndicators() == 0 && p.Query.Objective != nil && p.Instance.MaxMult > 0 {
+		ls, err := search.LocalSearch(p.Instance, p.DB, search.Options{
+			Limit: 1, Seed: opts.Seed, Restarts: 2, MaxK: 1,
+			Timeout: 200 * time.Millisecond, Require: opts.Require,
+		})
+		if err == nil && len(ls.Packages) > 0 {
+			seed := make([]float64, model.MILP.LP.NumVars())
+			for i, m := range ls.Packages[0].Mult {
+				seed[i] = float64(m)
+			}
+			mopts.InitialIncumbent = seed
+			res.Stats.SQLQueries += ls.Queries
+			res.Stats.Notes = append(res.Stats.Notes, "solver warm-started with a local-search incumbent")
+		}
+	}
+	exact := true
+	var mults [][]int
+	for k := 0; k < fetch; k++ {
+		sol := milp.Solve(model.MILP, mopts)
+		res.Stats.Nodes += int64(sol.Nodes)
+		res.Stats.LPIters += sol.LPIters
+		if sol.Status == milp.StatusInfeasible {
+			break // no more packages
+		}
+		if sol.Status == milp.StatusUnbounded {
+			return nil, fmt.Errorf("engine: objective is unbounded (add constraints or REPEAT)")
+		}
+		if sol.Status != milp.StatusOptimal {
+			exact = false
+			if sol.X == nil {
+				res.Stats.Notes = append(res.Stats.Notes, "solver hit its limits without an incumbent")
+				break
+			}
+			res.Stats.Notes = append(res.Stats.Notes, "solver hit its limits; best incumbent returned without proof")
+		}
+		mult := model.Multiplicities(sol.X)
+		mults = append(mults, mult)
+		if k+1 < fetch {
+			if err := model.AddExclusionCut(mult); err != nil {
+				res.Stats.Notes = append(res.Stats.Notes,
+					fmt.Sprintf("multiple packages unavailable: %v", err))
+				break
+			}
+			// The warm-start incumbent is excluded by the cut now.
+			mopts.InitialIncumbent = nil
+		}
+	}
+	res.Stats.Exact = exact
+	return mults, nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/minidb"
+)
+
+func TestStrategyString(t *testing.T) {
+	want := map[Strategy]string{
+		Auto: "auto", BruteForceStrategy: "brute-force", PrunedEnum: "pruned-enum",
+		LocalSearchStrategy: "local-search", Solver: "solver",
+	}
+	for st, s := range want {
+		if st.String() != s {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), s)
+		}
+	}
+	if !strings.Contains(Strategy(42).String(), "42") {
+		t.Error("unknown strategy should render its number")
+	}
+}
+
+func TestAutoPicksLocalSearchForLargeNonlinear(t *testing.T) {
+	db := minidb.New()
+	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: 120, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// A non-linear constraint over far more candidates than the exact
+	// enumeration threshold: Auto must fall back to local search.
+	res, err := Evaluate(db, `
+		SELECT PACKAGE(R) AS P FROM recipes R
+		SUCH THAT COUNT(*) = 3 AND SUM(P.calories) * SUM(P.protein) >= 100000
+		      AND SUM(P.calories) <= 3000
+		MAXIMIZE SUM(P.protein)`, Options{Seed: 3, Restarts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Strategy != LocalSearchStrategy {
+		t.Errorf("auto chose %v for large non-linear query", res.Stats.Strategy)
+	}
+	// any returned package must genuinely satisfy the non-linear formula
+	for _, p := range res.Packages {
+		cal, _ := p.AggValues["SUM(R.calories)"].AsFloat()
+		prot, _ := p.AggValues["SUM(R.protein)"].AsFloat()
+		if cal*prot < 100000-1e-6 || cal > 3000 {
+			t.Errorf("non-linear constraint violated: %g * %g, cal %g", cal, prot, cal)
+		}
+	}
+}
+
+func TestTimeoutIsRespected(t *testing.T) {
+	db := minidb.New()
+	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: 26, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// A brute-force run with a tiny budget must return promptly and be
+	// flagged inexact.
+	res, err := Evaluate(db, `
+		SELECT PACKAGE(R) AS P FROM recipes R
+		SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 500 AND 5000
+		MAXIMIZE SUM(P.protein)`, Options{Strategy: BruteForceStrategy, Timeout: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Exact {
+		t.Error("budget-starved brute force must not claim exactness")
+	}
+}

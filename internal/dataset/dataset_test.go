@@ -1,0 +1,187 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minidb"
+	"repro/internal/value"
+)
+
+func TestRecipesDeterministicAndPlausible(t *testing.T) {
+	a := Recipes(RecipesConfig{N: 200, Seed: 7})
+	b := Recipes(RecipesConfig{N: 200, Seed: 7})
+	c := Recipes(RecipesConfig{N: 200, Seed: 8})
+	if len(a) != 200 {
+		t.Fatalf("n = %d", len(a))
+	}
+	same, diff := true, false
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			same = false
+		}
+		if a[i].String() != c[i].String() {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed must reproduce identical rows")
+	}
+	if !diff {
+		t.Error("different seeds should differ")
+	}
+	freeCount := 0
+	for _, r := range a {
+		cal, _ := r[5].AsFloat()
+		if cal < 80 || cal > 1400 {
+			t.Errorf("calories out of range: %v", cal)
+		}
+		prot, _ := r[6].AsFloat()
+		if prot < 1 || prot > 120 {
+			t.Errorf("protein out of range: %v", prot)
+		}
+		price, _ := r[9].AsFloat()
+		if price < 2 || price > 20 {
+			t.Errorf("price out of range: %v", price)
+		}
+		if r[4].StrVal() == "free" {
+			freeCount++
+		}
+	}
+	if freeCount < 100 || freeCount == 200 {
+		t.Errorf("gluten-free share implausible: %d/200", freeCount)
+	}
+}
+
+func TestLoadRecipesQueryable(t *testing.T) {
+	db := minidb.New()
+	if err := LoadRecipes(db, "recipes", RecipesConfig{N: 150, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT COUNT(*), AVG(calories) FROM recipes WHERE gluten = 'free'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := res.Rows[0][0].AsInt()
+	if n == 0 || n == 150 {
+		t.Errorf("free count = %d", n)
+	}
+	avg, _ := res.Rows[0][1].AsFloat()
+	if avg < 150 || avg > 900 {
+		t.Errorf("avg calories = %g", avg)
+	}
+}
+
+func TestVacationShape(t *testing.T) {
+	rows := Vacation(VacationConfig{Flights: 10, Hotels: 15, Cars: 5, Seed: 3})
+	if len(rows) != 30 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	kinds := map[string]int{}
+	for _, r := range rows {
+		kind := r[1].StrVal()
+		kinds[kind]++
+		switch kind {
+		case "hotel":
+			if r[5].IsNull() {
+				t.Error("hotel must have a distance")
+			}
+		case "flight", "car":
+			if !r[5].IsNull() {
+				t.Errorf("%s must have NULL distance", kind)
+			}
+		default:
+			t.Errorf("unknown kind %q", kind)
+		}
+		price, _ := r[4].AsFloat()
+		if price <= 0 {
+			t.Errorf("price = %g", price)
+		}
+	}
+	if kinds["flight"] != 10 || kinds["hotel"] != 15 || kinds["car"] != 5 {
+		t.Errorf("kind counts = %v", kinds)
+	}
+}
+
+func TestVacationQueryableWithEngineShapes(t *testing.T) {
+	db := minidb.New()
+	if err := LoadVacation(db, "items", VacationConfig{Flights: 8, Hotels: 12, Cars: 4, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT MIN(price), MAX(price) FROM items WHERE kind = 'hotel'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, _ := res.Rows[0][0].AsFloat()
+	mx, _ := res.Rows[0][1].AsFloat()
+	if mn <= 0 || mx <= mn {
+		t.Errorf("hotel price range [%g, %g]", mn, mx)
+	}
+}
+
+func TestStocksShape(t *testing.T) {
+	rows := Stocks(StocksConfig{N: 300, Seed: 11})
+	long := 0
+	for _, r := range rows {
+		risk, _ := r[5].AsFloat()
+		if risk < 0 || risk > 1 {
+			t.Errorf("risk = %g", risk)
+		}
+		ret, _ := r[4].AsFloat()
+		if ret < -0.2 || ret > 0.5 {
+			t.Errorf("expret = %g", ret)
+		}
+		if r[6].StrVal() == "long" {
+			long++
+		}
+		if len(r[1].StrVal()) != 4 {
+			t.Errorf("ticker = %q", r[1].StrVal())
+		}
+	}
+	if long < 100 || long > 250 {
+		t.Errorf("long-horizon share = %d/300", long)
+	}
+}
+
+func TestWriteCSVRoundTripsThroughLoader(t *testing.T) {
+	rows := Recipes(RecipesConfig{N: 25, Seed: 2})
+	csvText := WriteCSV(RecipesSchema(), rows)
+	if !strings.HasPrefix(csvText, "id:int,name:text") {
+		t.Errorf("header = %q", strings.SplitN(csvText, "\n", 2)[0])
+	}
+	db := minidb.New()
+	n, err := db.LoadCSV("r2", strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Errorf("loaded %d rows", n)
+	}
+	res, err := db.Query(`SELECT SUM(calories) FROM r2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := res.Rows[0][0].AsFloat()
+	want := 0.0
+	for _, r := range rows {
+		c, _ := r[5].AsFloat()
+		want += c
+	}
+	if got != want {
+		t.Errorf("csv round trip: sum %g != %g", got, want)
+	}
+	// quoted names survive
+	vac := Vacation(VacationConfig{Flights: 2, Hotels: 2, Cars: 1, Seed: 1})
+	vcsv := WriteCSV(VacationSchema(), vac)
+	db2 := minidb.New()
+	if _, err := db2.LoadCSV("v", strings.NewReader(vcsv)); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db2.Query(`SELECT COUNT(*) FROM v WHERE dist IS NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows[0][0].Equal(value.Int(3)) {
+		t.Errorf("null dist count = %v", res.Rows[0][0])
+	}
+}

@@ -1,0 +1,260 @@
+// Package lp implements a dense, bounded-variable, two-phase primal
+// simplex solver for linear programs. It is the foundation of the MILP
+// branch-and-bound in internal/milp, which PackageBuilder uses as its
+// "state-of-the-art constraint solver" substitute: PaQL queries are
+// translated to integer programs whose LP relaxations this package
+// solves.
+//
+// The solver handles
+//
+//	minimize    cᵀx
+//	subject to  Σⱼ aᵢⱼ xⱼ  {≤,=,≥}  bᵢ      for each row i
+//	            loⱼ ≤ xⱼ ≤ upⱼ               for each variable j
+//
+// with finite lower bounds (default 0) and optionally infinite upper
+// bounds. Variable bounds are handled natively by the simplex (nonbasic
+// variables sit at either bound and can "bound-flip"), which keeps the
+// tableau small: branch-and-bound tightens bounds without adding rows.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is the upper bound meaning "unbounded above".
+var Inf = math.Inf(1)
+
+// Sense selects the optimization direction.
+type Sense int
+
+const (
+	Minimize Sense = iota
+	Maximize
+)
+
+// Op is a constraint relation.
+type Op int
+
+const (
+	LE Op = iota // Σ aᵢⱼxⱼ ≤ b
+	GE           // Σ aᵢⱼxⱼ ≥ b
+	EQ           // Σ aᵢⱼxⱼ = b
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Coef is one term of a constraint row.
+type Coef struct {
+	Var int
+	Val float64
+}
+
+// Constraint is one linear constraint.
+type Constraint struct {
+	Coefs []Coef
+	Op    Op
+	RHS   float64
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; call NewProblem.
+type Problem struct {
+	n     int
+	obj   []float64
+	sense Sense
+	rows  []Constraint
+	lo    []float64
+	up    []float64
+}
+
+// NewProblem creates a problem with n variables, all with bounds
+// [0, +inf) and zero objective coefficients.
+func NewProblem(n int) *Problem {
+	p := &Problem{
+		n:   n,
+		obj: make([]float64, n),
+		lo:  make([]float64, n),
+		up:  make([]float64, n),
+	}
+	for j := range p.up {
+		p.up[j] = Inf
+	}
+	return p
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return p.n }
+
+// NumRows returns the number of constraints.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// SetObjective sets the objective coefficients and sense. The slice
+// must have one entry per variable.
+func (p *Problem) SetObjective(coefs []float64, sense Sense) error {
+	if len(coefs) != p.n {
+		return fmt.Errorf("lp: objective has %d coefficients for %d variables", len(coefs), p.n)
+	}
+	copy(p.obj, coefs)
+	p.sense = sense
+	return nil
+}
+
+// SetObjectiveCoef sets a single objective coefficient.
+func (p *Problem) SetObjectiveCoef(j int, c float64) error {
+	if j < 0 || j >= p.n {
+		return fmt.Errorf("lp: variable %d out of range", j)
+	}
+	p.obj[j] = c
+	return nil
+}
+
+// SetSense sets the optimization direction.
+func (p *Problem) SetSense(s Sense) { p.sense = s }
+
+// Sense returns the optimization direction.
+func (p *Problem) Sense() Sense { return p.sense }
+
+// SetBounds sets [lo, up] for a variable. lo must be finite and ≤ up;
+// up may be Inf.
+func (p *Problem) SetBounds(j int, lo, up float64) error {
+	if j < 0 || j >= p.n {
+		return fmt.Errorf("lp: variable %d out of range", j)
+	}
+	if math.IsInf(lo, 0) || math.IsNaN(lo) || math.IsNaN(up) {
+		return fmt.Errorf("lp: lower bound of variable %d must be finite", j)
+	}
+	if lo > up {
+		return fmt.Errorf("lp: variable %d has empty bound range [%g, %g]", j, lo, up)
+	}
+	p.lo[j] = lo
+	p.up[j] = up
+	return nil
+}
+
+// Bounds returns [lo, up] of a variable.
+func (p *Problem) Bounds(j int) (lo, up float64) { return p.lo[j], p.up[j] }
+
+// ObjectiveCoef returns the objective coefficient of variable j.
+func (p *Problem) ObjectiveCoef(j int) float64 { return p.obj[j] }
+
+// Row returns constraint i (shared slice; do not modify).
+func (p *Problem) Row(i int) Constraint { return p.rows[i] }
+
+// Feasible reports whether x satisfies every constraint and bound
+// within tolerance tol (integrality is not checked).
+func (p *Problem) Feasible(x []float64, tol float64) bool {
+	if len(x) != p.n {
+		return false
+	}
+	for j := 0; j < p.n; j++ {
+		if x[j] < p.lo[j]-tol || x[j] > p.up[j]+tol {
+			return false
+		}
+	}
+	for _, row := range p.rows {
+		lhs := 0.0
+		for _, c := range row.Coefs {
+			lhs += c.Val * x[c.Var]
+		}
+		switch row.Op {
+		case LE:
+			if lhs > row.RHS+tol {
+				return false
+			}
+		case GE:
+			if lhs < row.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-row.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AddConstraint appends a constraint row and returns its index.
+// Duplicate variable entries are summed.
+func (p *Problem) AddConstraint(coefs []Coef, op Op, rhs float64) (int, error) {
+	merged := map[int]float64{}
+	for _, c := range coefs {
+		if c.Var < 0 || c.Var >= p.n {
+			return 0, fmt.Errorf("lp: constraint references variable %d out of range", c.Var)
+		}
+		merged[c.Var] += c.Val
+	}
+	row := Constraint{Op: op, RHS: rhs}
+	for v, coef := range merged {
+		if coef != 0 {
+			row.Coefs = append(row.Coefs, Coef{Var: v, Val: coef})
+		}
+	}
+	p.rows = append(p.rows, row)
+	return len(p.rows) - 1, nil
+}
+
+// Clone deep-copies the problem (used by branch-and-bound to tighten
+// bounds per node without mutating the parent).
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		n:     p.n,
+		obj:   append([]float64(nil), p.obj...),
+		sense: p.sense,
+		lo:    append([]float64(nil), p.lo...),
+		up:    append([]float64(nil), p.up...),
+		rows:  make([]Constraint, len(p.rows)),
+	}
+	// Constraint coefficient slices are never mutated after AddConstraint,
+	// so sharing them is safe and keeps node cloning cheap.
+	copy(q.rows, p.rows)
+	return q
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// StatusOptimal means an optimal basic solution was found.
+	StatusOptimal Status = iota
+	// StatusInfeasible means no point satisfies the constraints.
+	StatusInfeasible
+	// StatusUnbounded means the objective is unbounded in the
+	// optimization direction.
+	StatusUnbounded
+	// StatusIterLimit means the iteration limit was hit first.
+	StatusIterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status     Status
+	X          []float64 // variable values (length NumVars), valid when Optimal
+	Objective  float64   // objective value in the problem's sense
+	Iterations int
+}

@@ -1,0 +1,403 @@
+package lp
+
+import (
+	"math"
+)
+
+const (
+	feasTol = 1e-7 // feasibility tolerance
+	costTol = 1e-9 // reduced-cost optimality tolerance
+	pivTol  = 1e-9 // minimum pivot magnitude
+)
+
+// Options tunes the solver.
+type Options struct {
+	// MaxIters bounds simplex iterations per phase; 0 selects an
+	// automatic limit based on problem size.
+	MaxIters int
+}
+
+// Solve optimizes the problem with the bounded-variable two-phase
+// primal simplex. The returned solution's X has one value per problem
+// variable (slacks and artificials are internal).
+func Solve(p *Problem, opts ...Options) *Solution {
+	var opt Options
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	t := newTableau(p)
+	maxIters := opt.MaxIters
+	if maxIters <= 0 {
+		maxIters = 2000 + 50*(t.m+t.n)
+	}
+
+	sol := &Solution{}
+	// Phase 1: minimize the sum of artificial variables.
+	if t.needPhase1 {
+		status, iters := t.iterate(t.phase1Costs(), maxIters)
+		sol.Iterations += iters
+		if status == StatusIterLimit {
+			sol.Status = StatusIterLimit
+			return sol
+		}
+		if t.phase1Objective() > 1e-6 {
+			sol.Status = StatusInfeasible
+			return sol
+		}
+		t.fixArtificials()
+	}
+	// Phase 2: the real objective.
+	status, iters := t.iterate(t.costs, maxIters)
+	sol.Iterations += iters
+	switch status {
+	case StatusIterLimit, StatusUnbounded:
+		sol.Status = status
+		return sol
+	}
+	sol.Status = StatusOptimal
+	sol.X = make([]float64, p.n)
+	copy(sol.X, t.x[:p.n])
+	obj := 0.0
+	for j := 0; j < p.n; j++ {
+		obj += p.obj[j] * sol.X[j]
+	}
+	sol.Objective = obj
+	return sol
+}
+
+// tableau is the dense simplex state over the extended variable set
+// [structural | slacks | artificials].
+type tableau struct {
+	m, n int // rows, total columns
+
+	a  [][]float64 // m×n: current tableau rows (basic columns are unit)
+	tb []float64   // m: B⁻¹ b
+
+	lo, up  []float64 // n: bounds of every column
+	costs   []float64 // n: phase-2 costs (structural = ±obj, rest 0)
+	basis   []int     // m: basic column per row
+	inBasis []bool    // n
+	atUpper []bool    // n: nonbasic position (false = at lower bound)
+	x       []float64 // n: current values
+
+	artStart   int // first artificial column
+	needPhase1 bool
+	maximize   bool
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.rows)
+	// Column layout: structural, then one slack per inequality row, then
+	// one artificial per row that needs it.
+	nSlack := 0
+	for _, r := range p.rows {
+		if r.Op != EQ {
+			nSlack++
+		}
+	}
+	n := p.n + nSlack + m // reserve artificial space for every row
+	t := &tableau{
+		m: m, n: n,
+		a:       make([][]float64, m),
+		tb:      make([]float64, m),
+		lo:      make([]float64, n),
+		up:      make([]float64, n),
+		costs:   make([]float64, n),
+		basis:   make([]int, m),
+		inBasis: make([]bool, n),
+		atUpper: make([]bool, n),
+		x:       make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		t.up[j] = Inf
+	}
+	copy(t.lo, p.lo)
+	copy(t.up, p.up)
+	t.maximize = p.sense == Maximize
+	for j := 0; j < p.n; j++ {
+		if t.maximize {
+			t.costs[j] = -p.obj[j]
+		} else {
+			t.costs[j] = p.obj[j]
+		}
+	}
+	// Build rows.
+	slack := p.n
+	t.artStart = p.n + nSlack
+	art := t.artStart
+	for i, r := range p.rows {
+		row := make([]float64, n)
+		for _, c := range r.Coefs {
+			row[c.Var] += c.Val
+		}
+		switch r.Op {
+		case LE:
+			row[slack] = 1
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+		}
+		t.a[i] = row
+		t.tb[i] = r.RHS
+	}
+	// Start: all structural and slack columns nonbasic at their finite
+	// bound nearest zero; artificials absorb the residual.
+	for j := 0; j < t.artStart; j++ {
+		t.x[j] = t.lo[j]
+		if t.up[j] < Inf && math.Abs(t.up[j]) < math.Abs(t.lo[j]) {
+			t.x[j] = t.up[j]
+			t.atUpper[j] = true
+		}
+	}
+	for i := 0; i < m; i++ {
+		resid := t.tb[i]
+		for j := 0; j < t.artStart; j++ {
+			resid -= t.a[i][j] * t.x[j]
+		}
+		col := art + i
+		if resid >= 0 {
+			t.a[i][col] = 1
+		} else {
+			t.a[i][col] = -1
+		}
+		t.lo[col] = 0
+		t.up[col] = Inf
+		t.basis[i] = col
+		t.inBasis[col] = true
+		t.x[col] = math.Abs(resid)
+		if t.x[col] > feasTol {
+			t.needPhase1 = true
+		}
+	}
+	// Normalize rows so basic (artificial) columns are +1 and the
+	// tableau starts in canonical form.
+	for i := 0; i < m; i++ {
+		col := t.basis[i]
+		if t.a[i][col] < 0 {
+			for j := 0; j < n; j++ {
+				t.a[i][j] = -t.a[i][j]
+			}
+			t.tb[i] = -t.tb[i]
+		}
+	}
+	return t
+}
+
+// phase1Costs returns the phase-1 cost vector (1 per artificial).
+func (t *tableau) phase1Costs() []float64 {
+	c := make([]float64, t.n)
+	for j := t.artStart; j < t.n; j++ {
+		c[j] = 1
+	}
+	return c
+}
+
+// phase1Objective sums artificial values.
+func (t *tableau) phase1Objective() float64 {
+	s := 0.0
+	for j := t.artStart; j < t.n; j++ {
+		s += t.x[j]
+	}
+	return s
+}
+
+// fixArtificials pins artificial variables to zero so phase 2 cannot
+// reuse them, and pivots basic zero-valued artificials out when a
+// non-artificial pivot column exists.
+func (t *tableau) fixArtificials() {
+	for j := t.artStart; j < t.n; j++ {
+		t.up[j] = 0
+	}
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		for j := 0; j < t.artStart; j++ {
+			if !t.inBasis[j] && math.Abs(t.a[i][j]) > pivTol {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}
+
+// recompute refreshes basic-variable values from the nonbasic bound
+// assignment: x_B = B⁻¹b − Σ_nonbasic (B⁻¹A)ⱼ xⱼ.
+func (t *tableau) recompute() {
+	for i := 0; i < t.m; i++ {
+		v := t.tb[i]
+		row := t.a[i]
+		for j := 0; j < t.n; j++ {
+			if !t.inBasis[j] && t.x[j] != 0 {
+				v -= row[j] * t.x[j]
+			}
+		}
+		t.x[t.basis[i]] = v
+	}
+}
+
+// reducedCosts computes d = c − c_Bᵀ (B⁻¹A).
+func (t *tableau) reducedCosts(c []float64) []float64 {
+	d := make([]float64, t.n)
+	copy(d, c)
+	for i := 0; i < t.m; i++ {
+		cb := c[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := 0; j < t.n; j++ {
+			d[j] -= cb * row[j]
+		}
+	}
+	return d
+}
+
+// iterate runs the simplex with cost vector c until optimal, unbounded
+// or the iteration limit. It uses Dantzig pricing with a Bland fallback
+// after a stretch of degenerate pivots to guarantee termination.
+func (t *tableau) iterate(c []float64, maxIters int) (Status, int) {
+	t.recompute()
+	degenerate := 0
+	const blandAfter = 200
+	for iter := 0; iter < maxIters; iter++ {
+		d := t.reducedCosts(c)
+		// entering variable
+		enter := -1
+		best := 0.0
+		bland := degenerate > blandAfter
+		for j := 0; j < t.n; j++ {
+			if t.inBasis[j] || t.lo[j] == t.up[j] {
+				continue
+			}
+			var viol float64
+			if !t.atUpper[j] && d[j] < -costTol {
+				viol = -d[j]
+			} else if t.atUpper[j] && d[j] > costTol {
+				viol = d[j]
+			} else {
+				continue
+			}
+			if bland {
+				enter = j
+				break
+			}
+			if viol > best {
+				best = viol
+				enter = j
+			}
+		}
+		if enter == -1 {
+			return StatusOptimal, iter
+		}
+		// Direction: increasing from lower bound, decreasing from upper.
+		dir := 1.0
+		if t.atUpper[enter] {
+			dir = -1.0
+		}
+		// Ratio test: smallest step that drives a basic variable to a
+		// bound, or flips the entering variable to its other bound.
+		tMax := math.Inf(1)
+		leaveRow := -1
+		leaveAtUpper := false
+		if t.up[enter] < Inf {
+			tMax = t.up[enter] - t.lo[enter]
+		}
+		for i := 0; i < t.m; i++ {
+			coef := t.a[i][enter] * dir
+			if math.Abs(coef) < pivTol {
+				continue
+			}
+			k := t.basis[i]
+			xv := t.x[k]
+			var limit float64
+			var hitsUpper bool
+			if coef > 0 {
+				// basic variable decreases toward its lower bound
+				limit = (xv - t.lo[k]) / coef
+				hitsUpper = false
+			} else {
+				// basic variable increases toward its upper bound
+				if t.up[k] == Inf {
+					continue
+				}
+				limit = (xv - t.up[k]) / coef
+				hitsUpper = true
+			}
+			if limit < -feasTol {
+				limit = 0
+			}
+			if limit < tMax-pivTol {
+				tMax = limit
+				leaveRow = i
+				leaveAtUpper = hitsUpper
+			} else if bland && leaveRow >= 0 && math.Abs(limit-tMax) <= pivTol {
+				// Bland tie-break: smallest basic index leaves.
+				if t.basis[i] < t.basis[leaveRow] {
+					leaveRow = i
+					leaveAtUpper = hitsUpper
+				}
+			}
+		}
+		if math.IsInf(tMax, 1) {
+			return StatusUnbounded, iter
+		}
+		if tMax <= pivTol {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		if leaveRow == -1 {
+			// Bound flip: entering variable jumps to its other bound.
+			t.atUpper[enter] = !t.atUpper[enter]
+			if t.atUpper[enter] {
+				t.x[enter] = t.up[enter]
+			} else {
+				t.x[enter] = t.lo[enter]
+			}
+			t.recompute()
+			continue
+		}
+		leaving := t.basis[leaveRow]
+		t.pivot(leaveRow, enter)
+		t.atUpper[leaving] = leaveAtUpper
+		if leaveAtUpper {
+			t.x[leaving] = t.up[leaving]
+		} else {
+			t.x[leaving] = t.lo[leaving]
+		}
+		t.recompute()
+	}
+	return StatusIterLimit, maxIters
+}
+
+// pivot performs a Gauss-Jordan pivot: column enter becomes basic in
+// row r.
+func (t *tableau) pivot(r, enter int) {
+	old := t.basis[r]
+	piv := t.a[r][enter]
+	row := t.a[r]
+	inv := 1.0 / piv
+	for j := 0; j < t.n; j++ {
+		row[j] *= inv
+	}
+	t.tb[r] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := 0; j < t.n; j++ {
+			ri[j] -= f * row[j]
+		}
+		t.tb[i] -= f * t.tb[r]
+	}
+	t.basis[r] = enter
+	t.inBasis[old] = false
+	t.inBasis[enter] = true
+}

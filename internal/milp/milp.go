@@ -1,0 +1,340 @@
+// Package milp implements a mixed-integer linear program solver:
+// best-first branch-and-bound over the bounded-variable simplex in
+// internal/lp, with most-fractional branching, a rounding primal
+// heuristic, and node/time limits. PackageBuilder's translation layer
+// (internal/translate) compiles PaQL package queries into these MILPs;
+// integer variables are tuple multiplicities, so branching tightens
+// variable bounds and never adds rows.
+package milp
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"repro/internal/lp"
+)
+
+// Problem couples an LP with integrality flags.
+type Problem struct {
+	LP      *lp.Problem
+	Integer []bool // len == LP.NumVars(); true = integrality required
+}
+
+// NewProblem wraps an LP; integrality defaults to false per variable.
+func NewProblem(p *lp.Problem) *Problem {
+	return &Problem{LP: p, Integer: make([]bool, p.NumVars())}
+}
+
+// SetInteger marks a variable as integer.
+func (p *Problem) SetInteger(j int) { p.Integer[j] = true }
+
+// Status reports the solve outcome.
+type Status int
+
+const (
+	// StatusOptimal: proven optimal integer solution.
+	StatusOptimal Status = iota
+	// StatusInfeasible: no integer-feasible point exists.
+	StatusInfeasible
+	// StatusUnbounded: the relaxation is unbounded.
+	StatusUnbounded
+	// StatusFeasible: limits hit; best incumbent returned without proof.
+	StatusFeasible
+	// StatusLimit: limits hit with no incumbent found.
+	StatusLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusFeasible:
+		return "feasible(limit)"
+	case StatusLimit:
+		return "limit"
+	}
+	return "unknown"
+}
+
+// Options tunes the search.
+type Options struct {
+	MaxNodes  int           // 0 = default (200000)
+	TimeLimit time.Duration // 0 = none
+	IntTol    float64       // integrality tolerance, default 1e-6
+	// InitialIncumbent, when non-nil, seeds the search with a known
+	// integer-feasible point (e.g. from local search), enabling pruning
+	// from the first node.
+	InitialIncumbent []float64
+}
+
+// Solution is the result of a MILP solve.
+type Solution struct {
+	Status     Status
+	X          []float64
+	Objective  float64
+	Bound      float64 // best proven dual bound (in the problem's sense)
+	Nodes      int
+	LPIters    int
+	WallTime   time.Duration
+	GapClosed  bool
+	Incumbents int // number of improving incumbents found
+}
+
+type node struct {
+	lo, up []float64 // bounds override (full copies)
+	bound  float64   // parent LP bound (priority)
+}
+
+type nodeQueue struct {
+	items []*node
+	max   bool // true for maximize problems: higher bound first
+}
+
+func (q *nodeQueue) Len() int { return len(q.items) }
+func (q *nodeQueue) Less(i, j int) bool {
+	if q.max {
+		return q.items[i].bound > q.items[j].bound
+	}
+	return q.items[i].bound < q.items[j].bound
+}
+func (q *nodeQueue) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *nodeQueue) Push(x interface{}) { q.items = append(q.items, x.(*node)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// Solve runs branch-and-bound.
+func Solve(p *Problem, opts ...Options) *Solution {
+	var opt Options
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	if opt.MaxNodes <= 0 {
+		opt.MaxNodes = 200000
+	}
+	if opt.IntTol <= 0 {
+		opt.IntTol = 1e-6
+	}
+	start := time.Now()
+	maximize := p.LP.Sense() == lp.Maximize
+	sol := &Solution{Status: StatusLimit}
+	better := func(a, b float64) bool {
+		if maximize {
+			return a > b+1e-9
+		}
+		return a < b-1e-9
+	}
+
+	n := p.LP.NumVars()
+	var haveIncumbent bool
+	var incumbent []float64
+	var incObj float64
+	accept := func(x []float64) {
+		obj := objective(p.LP, x)
+		if !haveIncumbent || better(obj, incObj) {
+			incumbent = append([]float64(nil), x...)
+			incObj = obj
+			haveIncumbent = true
+			sol.Incumbents++
+		}
+	}
+	if opt.InitialIncumbent != nil && integerFeasible(p, opt.InitialIncumbent, opt.IntTol) {
+		accept(opt.InitialIncumbent)
+	}
+
+	rootLo := make([]float64, n)
+	rootUp := make([]float64, n)
+	for j := 0; j < n; j++ {
+		rootLo[j], rootUp[j] = p.LP.Bounds(j)
+		// Integer variables get integral bounds up front.
+		if p.Integer[j] {
+			rootLo[j] = math.Ceil(rootLo[j] - opt.IntTol)
+			if !math.IsInf(rootUp[j], 1) {
+				rootUp[j] = math.Floor(rootUp[j] + opt.IntTol)
+			}
+			if rootLo[j] > rootUp[j] {
+				sol.Status = StatusInfeasible
+				sol.WallTime = time.Since(start)
+				return sol
+			}
+		}
+	}
+	q := &nodeQueue{max: maximize}
+	heap.Init(q)
+	heap.Push(q, &node{lo: rootLo, up: rootUp, bound: infFor(maximize)})
+
+	work := p.LP.Clone()
+	bestBound := infFor(maximize)
+	firstNode := true
+
+	for q.Len() > 0 {
+		if sol.Nodes >= opt.MaxNodes {
+			break
+		}
+		if opt.TimeLimit > 0 && time.Since(start) > opt.TimeLimit {
+			break
+		}
+		nd := heap.Pop(q).(*node)
+		// Bound-based pruning against the incumbent.
+		if haveIncumbent && !better(nd.bound, incObj) && !firstNode {
+			continue
+		}
+		sol.Nodes++
+		for j := 0; j < n; j++ {
+			if err := work.SetBounds(j, nd.lo[j], nd.up[j]); err != nil {
+				// Empty range: infeasible node.
+				goto nextNode
+			}
+		}
+		{
+			res := lp.Solve(work)
+			sol.LPIters += res.Iterations
+			switch res.Status {
+			case lp.StatusInfeasible:
+				goto nextNode
+			case lp.StatusUnbounded:
+				if firstNode {
+					sol.Status = StatusUnbounded
+					sol.WallTime = time.Since(start)
+					return sol
+				}
+				goto nextNode
+			case lp.StatusIterLimit:
+				goto nextNode
+			}
+			if firstNode {
+				bestBound = res.Objective
+				firstNode = false
+			}
+			if haveIncumbent && !better(res.Objective, incObj) {
+				goto nextNode // dominated
+			}
+			frac := mostFractional(p, res.X, opt.IntTol)
+			if frac == -1 {
+				accept(res.X)
+				goto nextNode
+			}
+			// Rounding heuristic: snap to nearest integers and verify.
+			if rounded := roundCandidate(p, res.X, nd.lo, nd.up, opt.IntTol); rounded != nil {
+				accept(rounded)
+			}
+			// Branch on the most fractional variable.
+			v := res.X[frac]
+			left := &node{lo: append([]float64(nil), nd.lo...), up: append([]float64(nil), nd.up...), bound: res.Objective}
+			left.up[frac] = math.Floor(v)
+			right := &node{lo: append([]float64(nil), nd.lo...), up: append([]float64(nil), nd.up...), bound: res.Objective}
+			right.lo[frac] = math.Ceil(v)
+			if left.lo[frac] <= left.up[frac] {
+				heap.Push(q, left)
+			}
+			if right.lo[frac] <= right.up[frac] {
+				heap.Push(q, right)
+			}
+		}
+	nextNode:
+	}
+	sol.WallTime = time.Since(start)
+	// With open nodes remaining, the best open node's parent bound is
+	// the tightest proven dual bound (the heap root, by construction).
+	if q.Len() > 0 {
+		bestBound = q.items[0].bound
+	}
+	switch {
+	case q.Len() == 0 && sol.Nodes < opt.MaxNodes && haveIncumbent:
+		sol.Status = StatusOptimal
+		sol.Bound = incObj
+	case q.Len() == 0 && sol.Nodes < opt.MaxNodes:
+		sol.Status = StatusInfeasible
+	case haveIncumbent:
+		sol.Status = StatusFeasible
+		sol.Bound = bestBound
+	default:
+		sol.Status = StatusLimit
+		sol.Bound = bestBound
+	}
+	if haveIncumbent {
+		sol.X = incumbent
+		sol.Objective = incObj
+		sol.GapClosed = sol.Status == StatusOptimal
+	}
+	return sol
+}
+
+func infFor(maximize bool) float64 {
+	if maximize {
+		return math.Inf(1)
+	}
+	return math.Inf(-1)
+}
+
+func objective(p *lp.Problem, x []float64) float64 {
+	obj := 0.0
+	for j := 0; j < p.NumVars(); j++ {
+		obj += p.ObjectiveCoef(j) * x[j]
+	}
+	return obj
+}
+
+// mostFractional returns the integer variable whose value is farthest
+// from integrality, or -1 when all are integral.
+func mostFractional(p *Problem, x []float64, tol float64) int {
+	best := -1
+	bestDist := tol
+	for j, isInt := range p.Integer {
+		if !isInt {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			bestDist = dist
+			best = j
+		}
+	}
+	return best
+}
+
+// roundCandidate snaps integer variables to the nearest in-bounds
+// integer and returns the point if it satisfies every constraint.
+func roundCandidate(p *Problem, x, lo, up []float64, tol float64) []float64 {
+	out := append([]float64(nil), x...)
+	for j, isInt := range p.Integer {
+		if !isInt {
+			continue
+		}
+		r := math.Round(out[j])
+		if r < lo[j] {
+			r = math.Ceil(lo[j] - tol)
+		}
+		if r > up[j] {
+			r = math.Floor(up[j] + tol)
+		}
+		out[j] = r
+	}
+	if !p.LP.Feasible(out, 1e-6) {
+		return nil
+	}
+	return out
+}
+
+// integerFeasible verifies bounds, constraints and integrality.
+func integerFeasible(p *Problem, x []float64, tol float64) bool {
+	if len(x) != p.LP.NumVars() {
+		return false
+	}
+	for j, isInt := range p.Integer {
+		if isInt && math.Abs(x[j]-math.Round(x[j])) > tol {
+			return false
+		}
+	}
+	return p.LP.Feasible(x, 1e-6)
+}

@@ -1,0 +1,260 @@
+package minidb
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// aggState accumulates one aggregate over one group.
+type aggState interface {
+	add(v value.V) error
+	result() value.V
+}
+
+type countState struct {
+	star bool
+	n    int64
+}
+
+func (s *countState) add(v value.V) error {
+	if s.star || !v.IsNull() {
+		s.n++
+	}
+	return nil
+}
+func (s *countState) result() value.V { return value.Int(s.n) }
+
+type sumState struct {
+	sum   float64
+	isInt bool
+	any   bool
+}
+
+func (s *sumState) add(v value.V) error {
+	if v.IsNull() {
+		return nil
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return fmt.Errorf("minidb: SUM over non-numeric value %s", v)
+	}
+	if !s.any {
+		s.isInt = v.Kind() == value.KindInt
+	} else if v.Kind() != value.KindInt {
+		s.isInt = false
+	}
+	s.sum += f
+	s.any = true
+	return nil
+}
+
+func (s *sumState) result() value.V {
+	if !s.any {
+		return value.Null()
+	}
+	if s.isInt {
+		return value.Int(int64(s.sum))
+	}
+	return value.Float(s.sum)
+}
+
+type avgState struct {
+	sum float64
+	n   int64
+}
+
+func (s *avgState) add(v value.V) error {
+	if v.IsNull() {
+		return nil
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return fmt.Errorf("minidb: AVG over non-numeric value %s", v)
+	}
+	s.sum += f
+	s.n++
+	return nil
+}
+
+func (s *avgState) result() value.V {
+	if s.n == 0 {
+		return value.Null()
+	}
+	return value.Float(s.sum / float64(s.n))
+}
+
+type minMaxState struct {
+	max  bool
+	best value.V
+}
+
+func (s *minMaxState) add(v value.V) error {
+	if v.IsNull() {
+		return nil
+	}
+	if s.best.IsNull() {
+		s.best = v
+		return nil
+	}
+	cmp, _ := v.Compare(s.best)
+	if (s.max && cmp > 0) || (!s.max && cmp < 0) {
+		s.best = v
+	}
+	return nil
+}
+
+func (s *minMaxState) result() value.V { return s.best }
+
+func newAggState(fn string, star bool) (aggState, error) {
+	switch fn {
+	case "COUNT":
+		return &countState{star: star}, nil
+	case "SUM":
+		return &sumState{}, nil
+	case "AVG":
+		return &avgState{}, nil
+	case "MIN":
+		return &minMaxState{}, nil
+	case "MAX":
+		return &minMaxState{max: true}, nil
+	}
+	return nil, fmt.Errorf("minidb: unknown aggregate %q", fn)
+}
+
+// aggOp computes hash aggregation. Output rows are
+// [groupVals..., aggVals...]; with no GROUP BY there is exactly one
+// output row (aggregates over the whole input, even when empty).
+type aggOp struct {
+	child   operator
+	groupBy []expr.Expr // bound to child schema
+	aggs    []*AggCall  // args bound to child schema
+	sch     schema.Schema
+
+	out []schema.Row
+	pos int
+}
+
+func newAggOp(child operator, groupBy []expr.Expr, aggs []*AggCall) *aggOp {
+	cols := make([]schema.Column, 0, len(groupBy)+len(aggs))
+	for i, g := range groupBy {
+		name := fmt.Sprintf("group%d", i)
+		ty := schema.TFloat
+		if c, ok := g.(*expr.Col); ok {
+			name = c.Name
+			if c.Idx >= 0 && c.Idx < child.schema().Len() {
+				ty = child.schema().Cols[c.Idx].Type
+			}
+		}
+		cols = append(cols, schema.Column{Table: "", Name: name, Type: ty})
+	}
+	for _, a := range aggs {
+		ty := schema.TFloat
+		if a.Fn == "COUNT" {
+			ty = schema.TInt
+		}
+		cols = append(cols, schema.Column{Name: a.String(), Type: ty})
+	}
+	return &aggOp{child: child, groupBy: groupBy, aggs: aggs, sch: schema.Schema{Cols: cols}}
+}
+
+func (a *aggOp) schema() schema.Schema { return a.sch }
+
+func (a *aggOp) open() error {
+	if err := a.child.open(); err != nil {
+		return err
+	}
+	defer a.child.close()
+	type group struct {
+		keys   schema.Row
+		states []aggState
+	}
+	groups := map[string]*group{}
+	var order []string // deterministic output: first-seen order
+	for {
+		row, ok, err := a.child.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		keyVals := make(schema.Row, len(a.groupBy))
+		var keyBytes []byte
+		for i, g := range a.groupBy {
+			v, err := g.Eval(row)
+			if err != nil {
+				return err
+			}
+			keyVals[i] = v
+			keyBytes = v.EncodeKey(keyBytes)
+		}
+		k := string(keyBytes)
+		grp := groups[k]
+		if grp == nil {
+			grp = &group{keys: keyVals}
+			for _, agg := range a.aggs {
+				st, err := newAggState(agg.Fn, agg.Star)
+				if err != nil {
+					return err
+				}
+				grp.states = append(grp.states, st)
+			}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		for i, agg := range a.aggs {
+			var v value.V
+			if agg.Star {
+				v = value.Int(1) // ignored by countState with star
+			} else {
+				var err error
+				v, err = agg.Arg.Eval(row)
+				if err != nil {
+					return err
+				}
+			}
+			if err := grp.states[i].add(v); err != nil {
+				return err
+			}
+		}
+	}
+	// Global aggregation over empty input still yields one row.
+	if len(a.groupBy) == 0 && len(groups) == 0 {
+		grp := &group{}
+		for _, agg := range a.aggs {
+			st, err := newAggState(agg.Fn, agg.Star)
+			if err != nil {
+				return err
+			}
+			grp.states = append(grp.states, st)
+		}
+		groups[""] = grp
+		order = append(order, "")
+	}
+	a.out = a.out[:0]
+	for _, k := range order {
+		grp := groups[k]
+		row := make(schema.Row, 0, len(grp.keys)+len(grp.states))
+		row = append(row, grp.keys...)
+		for _, st := range grp.states {
+			row = append(row, st.result())
+		}
+		a.out = append(a.out, row)
+	}
+	a.pos = 0
+	return nil
+}
+
+func (a *aggOp) next() (schema.Row, bool, error) {
+	if a.pos >= len(a.out) {
+		return nil, false, nil
+	}
+	r := a.out[a.pos]
+	a.pos++
+	return r, true, nil
+}
+
+func (a *aggOp) close() { a.out = nil }

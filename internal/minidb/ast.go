@@ -1,0 +1,155 @@
+package minidb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Stmt is a parsed SQL statement.
+type Stmt interface{ stmt() }
+
+// CreateTableStmt is CREATE TABLE name (col type, ...).
+type CreateTableStmt struct {
+	Name   string
+	Schema schema.Schema
+}
+
+// CreateIndexStmt is CREATE INDEX [name] ON table (col).
+type CreateIndexStmt struct {
+	Name  string
+	Table string
+	Col   string
+}
+
+// InsertStmt is INSERT INTO table [(cols)] VALUES (...), (...).
+// Value expressions must be constant (no column references).
+type InsertStmt struct {
+	Table string
+	Cols  []string
+	Rows  [][]expr.Expr
+}
+
+// DeleteStmt is DELETE FROM table [WHERE pred].
+type DeleteStmt struct {
+	Table string
+	Where expr.Expr
+}
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    expr.Expr
+	GroupBy  []expr.Expr
+	Having   expr.Expr
+	OrderBy  []OrderItem
+	Limit    *int64
+	Offset   *int64
+}
+
+// SelectItem is one output column: either a star ("*" or "alias.*") or
+// an expression with an optional alias.
+type SelectItem struct {
+	Star     bool
+	StarQual string // non-empty for "alias.*"
+	Expr     expr.Expr
+	Alias    string
+}
+
+// TableRef is one FROM source: a base table or a derived table, with an
+// optional alias. JoinCond, when non-nil, is the ON condition joining
+// this ref to everything to its left (JOIN ... ON syntax); comma-listed
+// refs have nil JoinCond and are cross joins constrained by WHERE.
+type TableRef struct {
+	Name     string
+	Alias    string
+	Sub      *SelectStmt
+	JoinCond expr.Expr
+}
+
+// Binding name for the ref ("alias" falling back to the table name).
+func (r TableRef) Binding() string {
+	if r.Alias != "" {
+		return r.Alias
+	}
+	return r.Name
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	E    expr.Expr
+	Desc bool
+}
+
+func (*CreateTableStmt) stmt() {}
+func (*CreateIndexStmt) stmt() {}
+func (*InsertStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*SelectStmt) stmt()      {}
+
+// AggCall is an aggregate invocation appearing in SELECT/HAVING/ORDER
+// BY. It implements expr.Expr but cannot be evaluated directly: the
+// planner rewrites every AggCall into a column reference over the
+// aggregation output. It implements expr.Container so generic
+// expression traversal descends into the argument.
+type AggCall struct {
+	Fn   string // COUNT, SUM, AVG, MIN, MAX (canonical upper case)
+	Arg  expr.Expr
+	Star bool // COUNT(*)
+}
+
+// Eval reports an error: aggregates are handled by the planner.
+func (a *AggCall) Eval(schema.Row) (value.V, error) {
+	return value.Null(), fmt.Errorf("minidb: aggregate %s used outside an aggregation context", a.String())
+}
+
+// String renders "FN(arg)" or "COUNT(*)".
+func (a *AggCall) String() string {
+	if a.Star {
+		return a.Fn + "(*)"
+	}
+	return a.Fn + "(" + a.Arg.String() + ")"
+}
+
+// Children implements expr.Container.
+func (a *AggCall) Children() []expr.Expr {
+	if a.Star {
+		return nil
+	}
+	return []expr.Expr{a.Arg}
+}
+
+// CloneWith implements expr.Container.
+func (a *AggCall) CloneWith(children []expr.Expr) expr.Expr {
+	c := &AggCall{Fn: a.Fn, Star: a.Star}
+	if len(children) > 0 {
+		c.Arg = children[0]
+	}
+	return c
+}
+
+// Subquery is an uncorrelated scalar sub-query in an expression. The
+// planner evaluates it once and substitutes its single value.
+type Subquery struct {
+	Stmt *SelectStmt
+	Text string // original text, for rendering
+}
+
+// Eval reports an error: sub-queries are folded by the planner.
+func (s *Subquery) Eval(schema.Row) (value.V, error) {
+	return value.Null(), fmt.Errorf("minidb: scalar sub-query used outside a planning context")
+}
+
+// String renders the original sub-query text.
+func (s *Subquery) String() string { return "(" + strings.TrimSpace(s.Text) + ")" }
+
+// Children implements expr.Container (no scalar children).
+func (s *Subquery) Children() []expr.Expr { return nil }
+
+// CloneWith implements expr.Container.
+func (s *Subquery) CloneWith([]expr.Expr) expr.Expr { return &Subquery{Stmt: s.Stmt, Text: s.Text} }

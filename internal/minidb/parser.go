@@ -1,0 +1,437 @@
+package minidb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/parse"
+	"repro/internal/schema"
+)
+
+// ParseStmt parses a single SQL statement (an optional trailing ';' is
+// allowed).
+func ParseStmt(src string) (Stmt, error) {
+	p, err := parse.NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	installSQLHook(p)
+	st, err := parseStmt(p)
+	if err != nil {
+		return nil, err
+	}
+	p.AcceptPunct(";")
+	if !p.AtEOF() {
+		return nil, p.Errf("unexpected trailing input")
+	}
+	return st, nil
+}
+
+// installSQLHook extends the shared expression grammar with aggregate
+// calls and scalar sub-queries.
+func installSQLHook(p *parse.Parser) {
+	p.PrimaryHook = func(p *parse.Parser) (expr.Expr, bool, error) {
+		t := p.Peek()
+		// Aggregate call: COUNT/SUM/AVG/MIN/MAX followed by '('.
+		if t.Kind == parse.TIdent && p.PeekAt(1).Kind == parse.TPunct && p.PeekAt(1).Text == "(" {
+			fn := strings.ToUpper(t.Text)
+			switch fn {
+			case "COUNT", "SUM", "AVG", "MIN", "MAX":
+				p.Next() // fn
+				p.Next() // (
+				if fn == "COUNT" && p.AcceptPunct("*") {
+					if err := p.ExpectPunct(")"); err != nil {
+						return nil, true, err
+					}
+					return &AggCall{Fn: "COUNT", Star: true}, true, nil
+				}
+				arg, err := p.ParseExpr()
+				if err != nil {
+					return nil, true, err
+				}
+				if err := p.ExpectPunct(")"); err != nil {
+					return nil, true, err
+				}
+				return &AggCall{Fn: fn, Arg: arg}, true, nil
+			}
+		}
+		// Scalar sub-query: '(' SELECT ...
+		if t.Kind == parse.TPunct && t.Text == "(" {
+			nxt := p.PeekAt(1)
+			if nxt.Kind == parse.TIdent && strings.EqualFold(nxt.Text, "SELECT") {
+				p.Next() // (
+				start := p.Peek().Pos
+				sub, err := parseSelect(p)
+				if err != nil {
+					return nil, true, err
+				}
+				end := p.Peek().Pos
+				if err := p.ExpectPunct(")"); err != nil {
+					return nil, true, err
+				}
+				return &Subquery{Stmt: sub, Text: sliceSrc(p, start, end)}, true, nil
+			}
+		}
+		return nil, false, nil
+	}
+}
+
+// sliceSrc extracts the source text between two token offsets, used to
+// preserve sub-query text for rendering.
+func sliceSrc(p *parse.Parser, start, end int) string {
+	src := p.Src()
+	if start < 0 || end > len(src) || start > end {
+		return ""
+	}
+	return strings.TrimSpace(src[start:end])
+}
+
+func parseStmt(p *parse.Parser) (Stmt, error) {
+	switch {
+	case p.PeekKeyword("CREATE"):
+		return parseCreate(p)
+	case p.PeekKeyword("INSERT"):
+		return parseInsert(p)
+	case p.PeekKeyword("DELETE"):
+		return parseDelete(p)
+	case p.PeekKeyword("SELECT"):
+		return parseSelect(p)
+	}
+	return nil, p.Errf("expected CREATE, INSERT, DELETE or SELECT")
+}
+
+func parseCreate(p *parse.Parser) (Stmt, error) {
+	_ = p.ExpectKeyword("CREATE")
+	switch {
+	case p.AcceptKeyword("TABLE"):
+		name, err := p.ParseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.ExpectPunct("("); err != nil {
+			return nil, err
+		}
+		var cols []schema.Column
+		for {
+			cn, err := p.ParseIdent()
+			if err != nil {
+				return nil, err
+			}
+			tn, err := p.ParseIdent()
+			if err != nil {
+				return nil, err
+			}
+			ty, err := schema.TypeFromName(tn)
+			if err != nil {
+				return nil, p.Errf("%v", err)
+			}
+			cols = append(cols, schema.Column{Name: cn, Type: ty})
+			if !p.AcceptPunct(",") {
+				break
+			}
+		}
+		if err := p.ExpectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &CreateTableStmt{Name: name, Schema: schema.Schema{Cols: cols}}, nil
+	case p.AcceptKeyword("INDEX"):
+		var idxName string
+		if !p.PeekKeyword("ON") {
+			n, err := p.ParseIdent()
+			if err != nil {
+				return nil, err
+			}
+			idxName = n
+		}
+		if err := p.ExpectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.ParseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.ExpectPunct("("); err != nil {
+			return nil, err
+		}
+		col, err := p.ParseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.ExpectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &CreateIndexStmt{Name: idxName, Table: table, Col: col}, nil
+	}
+	return nil, p.Errf("expected TABLE or INDEX after CREATE")
+}
+
+func parseInsert(p *parse.Parser) (Stmt, error) {
+	_ = p.ExpectKeyword("INSERT")
+	if err := p.ExpectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ParseIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: table}
+	if p.AcceptPunct("(") {
+		for {
+			c, err := p.ParseIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, c)
+			if !p.AcceptPunct(",") {
+				break
+			}
+		}
+		if err := p.ExpectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.ExpectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.ExpectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []expr.Expr
+		for {
+			e, err := p.ParseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.AcceptPunct(",") {
+				break
+			}
+		}
+		if err := p.ExpectPunct(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.AcceptPunct(",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func parseDelete(p *parse.Parser) (Stmt, error) {
+	_ = p.ExpectKeyword("DELETE")
+	if err := p.ExpectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ParseIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: table}
+	if p.AcceptKeyword("WHERE") {
+		e, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+// statement keywords that terminate a select item / table ref alias.
+var reservedAfterItem = map[string]bool{
+	"FROM": true, "WHERE": true, "GROUP": true, "HAVING": true,
+	"ORDER": true, "LIMIT": true, "OFFSET": true, "ON": true,
+	"JOIN": true, "INNER": true, "AS": true, "ASC": true, "DESC": true,
+	"UNION": true, "BY": true, "AND": true, "OR": true, "NOT": true,
+}
+
+func parseSelect(p *parse.Parser) (*SelectStmt, error) {
+	if err := p.ExpectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	st := &SelectStmt{}
+	st.Distinct = p.AcceptKeyword("DISTINCT")
+	// select items
+	for {
+		item, err := parseSelectItem(p)
+		if err != nil {
+			return nil, err
+		}
+		st.Items = append(st.Items, item)
+		if !p.AcceptPunct(",") {
+			break
+		}
+	}
+	if err := p.ExpectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	// table refs: ref (, ref | JOIN ref ON expr)*
+	ref, err := parseTableRef(p)
+	if err != nil {
+		return nil, err
+	}
+	st.From = append(st.From, ref)
+	for {
+		if p.AcceptPunct(",") {
+			r, err := parseTableRef(p)
+			if err != nil {
+				return nil, err
+			}
+			st.From = append(st.From, r)
+			continue
+		}
+		if p.PeekKeyword("INNER") || p.PeekKeyword("JOIN") {
+			p.AcceptKeyword("INNER")
+			if err := p.ExpectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			r, err := parseTableRef(p)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.ExpectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			cond, err := p.ParseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.JoinCond = cond
+			st.From = append(st.From, r)
+			continue
+		}
+		break
+	}
+	if p.AcceptKeyword("WHERE") {
+		e, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	if p.AcceptKeyword("GROUP") {
+		if err := p.ExpectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.ParseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, e)
+			if !p.AcceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.AcceptKeyword("HAVING") {
+		e, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Having = e
+	}
+	if p.AcceptKeyword("ORDER") {
+		if err := p.ExpectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.ParseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{E: e}
+			if p.AcceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.AcceptKeyword("ASC")
+			}
+			st.OrderBy = append(st.OrderBy, item)
+			if !p.AcceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.AcceptKeyword("LIMIT") {
+		n, err := p.ParseInt()
+		if err != nil {
+			return nil, err
+		}
+		st.Limit = &n
+	}
+	if p.AcceptKeyword("OFFSET") {
+		n, err := p.ParseInt()
+		if err != nil {
+			return nil, err
+		}
+		st.Offset = &n
+	}
+	return st, nil
+}
+
+func parseSelectItem(p *parse.Parser) (SelectItem, error) {
+	// "*" or "alias.*"
+	if p.AcceptPunct("*") {
+		return SelectItem{Star: true}, nil
+	}
+	if p.Peek().Kind == parse.TIdent &&
+		p.PeekAt(1).Kind == parse.TPunct && p.PeekAt(1).Text == "." &&
+		p.PeekAt(2).Kind == parse.TPunct && p.PeekAt(2).Text == "*" {
+		qual := p.Next().Text
+		p.Next()
+		p.Next()
+		return SelectItem{Star: true, StarQual: qual}, nil
+	}
+	e, err := p.ParseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.AcceptKeyword("AS") {
+		a, err := p.ParseIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if t := p.Peek(); t.Kind == parse.TIdent && !reservedAfterItem[strings.ToUpper(t.Text)] {
+		// bare alias
+		item.Alias = p.Next().Text
+	}
+	return item, nil
+}
+
+func parseTableRef(p *parse.Parser) (TableRef, error) {
+	var ref TableRef
+	if p.AcceptPunct("(") {
+		sub, err := parseSelect(p)
+		if err != nil {
+			return ref, err
+		}
+		if err := p.ExpectPunct(")"); err != nil {
+			return ref, err
+		}
+		ref.Sub = sub
+	} else {
+		name, err := p.ParseIdent()
+		if err != nil {
+			return ref, err
+		}
+		ref.Name = name
+	}
+	if p.AcceptKeyword("AS") {
+		a, err := p.ParseIdent()
+		if err != nil {
+			return ref, err
+		}
+		ref.Alias = a
+	} else if t := p.Peek(); t.Kind == parse.TIdent && !reservedAfterItem[strings.ToUpper(t.Text)] {
+		ref.Alias = p.Next().Text
+	}
+	if ref.Sub != nil && ref.Alias == "" {
+		return ref, fmt.Errorf("minidb: derived table requires an alias")
+	}
+	return ref, nil
+}

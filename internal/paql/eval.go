@@ -1,0 +1,156 @@
+package paql
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// EvalAgg computes a single aggregate over the package's tuples (a
+// multiset: repeated tuples appear once per multiplicity). Aggregate
+// arguments and filters must be bound to the relation schema.
+func EvalAgg(a *Agg, rows []schema.Row) (value.V, error) {
+	count := int64(0)
+	sum := 0.0
+	sawNum := false
+	best := value.Null()
+	for _, row := range rows {
+		if a.Filter != nil {
+			ok, err := expr.EvalBool(a.Filter, row)
+			if err != nil {
+				return value.Null(), err
+			}
+			if !ok {
+				continue
+			}
+		}
+		if a.Star {
+			count++
+			continue
+		}
+		v, err := a.Arg.Eval(row)
+		if err != nil {
+			return value.Null(), err
+		}
+		if v.IsNull() {
+			continue
+		}
+		count++
+		switch a.Fn {
+		case "SUM", "AVG":
+			f, ok := v.AsFloat()
+			if !ok {
+				return value.Null(), fmt.Errorf("paql: %s over non-numeric value %s", a.Fn, v)
+			}
+			sum += f
+			sawNum = true
+		case "MIN":
+			if best.IsNull() {
+				best = v
+			} else if cmp, _ := v.Compare(best); cmp < 0 {
+				best = v
+			}
+		case "MAX":
+			if best.IsNull() {
+				best = v
+			} else if cmp, _ := v.Compare(best); cmp > 0 {
+				best = v
+			}
+		}
+	}
+	switch a.Fn {
+	case "COUNT":
+		return value.Int(count), nil
+	case "SUM":
+		if !sawNum {
+			return value.Null(), nil
+		}
+		return value.Float(sum), nil
+	case "AVG":
+		if count == 0 {
+			return value.Null(), nil
+		}
+		return value.Float(sum / float64(count)), nil
+	case "MIN", "MAX":
+		return best, nil
+	}
+	return value.Null(), fmt.Errorf("paql: unknown aggregate %s", a.Fn)
+}
+
+// EvalGlobal evaluates a global expression (a SUCH THAT formula or an
+// objective) against a concrete package. Aggregates are computed over
+// the package rows and memoized by rendered text within the call.
+func EvalGlobal(e expr.Expr, rows []schema.Row) (value.V, error) {
+	memo := map[string]value.V{}
+	var evalErr error
+	folded := expr.Transform(e, func(n expr.Expr) expr.Expr {
+		a, ok := n.(*Agg)
+		if !ok {
+			return nil
+		}
+		key := a.String()
+		v, have := memo[key]
+		if !have {
+			var err error
+			v, err = EvalAgg(a, rows)
+			if err != nil && evalErr == nil {
+				evalErr = err
+			}
+			memo[key] = v
+		}
+		return &expr.Const{Val: v}
+	})
+	if evalErr != nil {
+		return value.Null(), evalErr
+	}
+	return folded.Eval(nil)
+}
+
+// Satisfies reports whether a package satisfies the SUCH THAT formula
+// (NULL counts as false, per SQL semantics). A nil formula is satisfied
+// by every package.
+func Satisfies(f expr.Expr, rows []schema.Row) (bool, error) {
+	if f == nil {
+		return true, nil
+	}
+	v, err := EvalGlobal(f, rows)
+	if err != nil {
+		return false, err
+	}
+	b, null := v.Truthy()
+	return b && !null, nil
+}
+
+// ObjectiveValue evaluates the objective for a package; a nil objective
+// yields 0 so packages compare equal.
+func ObjectiveValue(o *Objective, rows []schema.Row) (float64, error) {
+	if o == nil {
+		return 0, nil
+	}
+	v, err := EvalGlobal(o.Expr, rows)
+	if err != nil {
+		return 0, err
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		if v.IsNull() {
+			return 0, fmt.Errorf("paql: objective %s is NULL for this package", o.Expr)
+		}
+		return 0, fmt.Errorf("paql: objective %s is not numeric (%s)", o.Expr, v)
+	}
+	return f, nil
+}
+
+// Better reports whether objective value a improves on b under the
+// objective's sense. With a nil objective nothing improves.
+func Better(o *Objective, a, b float64) bool {
+	if o == nil {
+		return false
+	}
+	if o.Sense == Maximize {
+		return a > b+1e-12
+	}
+	return a < b-1e-12
+}

@@ -1,0 +1,217 @@
+package paql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/parse"
+)
+
+// Parse parses a PaQL query.
+func Parse(src string) (*Query, error) {
+	p, err := parse.NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Raw: strings.TrimSpace(src), Repeat: 0}
+	// SELECT PACKAGE(R) [AS P]
+	if err := p.ExpectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.ExpectKeyword("PACKAGE"); err != nil {
+		return nil, err
+	}
+	if err := p.ExpectPunct("("); err != nil {
+		return nil, err
+	}
+	relVar, err := p.ParseIdent()
+	if err != nil {
+		return nil, err
+	}
+	q.RelVar = relVar
+	if err := p.ExpectPunct(")"); err != nil {
+		return nil, err
+	}
+	q.PkgVar = "P"
+	if p.AcceptKeyword("AS") {
+		pv, err := p.ParseIdent()
+		if err != nil {
+			return nil, err
+		}
+		q.PkgVar = pv
+	}
+	// FROM table [alias] [REPEAT k]
+	if err := p.ExpectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ParseIdent()
+	if err != nil {
+		return nil, err
+	}
+	q.Table = table
+	if t := p.Peek(); t.Kind == parse.TIdent && !isPaqlKeyword(t.Text) {
+		alias := p.Next().Text
+		if !strings.EqualFold(alias, q.RelVar) {
+			return nil, fmt.Errorf("paql: FROM binds %q but PACKAGE(%s) references %q", alias, q.RelVar, q.RelVar)
+		}
+	} else if !strings.EqualFold(q.RelVar, q.Table) {
+		// PACKAGE(R) with "FROM Recipes" and no alias: accept when the
+		// package variable matches the table name, otherwise the alias
+		// is required.
+		return nil, fmt.Errorf("paql: PACKAGE(%s) does not match FROM relation %q (missing alias?)", q.RelVar, q.Table)
+	}
+	if p.AcceptKeyword("REPEAT") {
+		n, err := p.ParseInt()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("paql: REPEAT must be non-negative, got %d", n)
+		}
+		q.Repeat = int(n)
+	}
+	// WHERE <base constraints>. Aggregates and sub-queries are accepted
+	// by the grammar here so that Analyze can reject them with a
+	// targeted message ("aggregates belong in SUCH THAT").
+	if p.AcceptKeyword("WHERE") {
+		installGlobalHook(p)
+		e, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.PrimaryHook = nil
+		q.Where = e
+	}
+	// SUCH THAT <global formula> — aggregate-bearing expressions.
+	if p.PeekKeyword("SUCH") {
+		p.Next()
+		if err := p.ExpectKeyword("THAT"); err != nil {
+			return nil, err
+		}
+		installGlobalHook(p)
+		e, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.SuchThat = e
+	}
+	// MAXIMIZE / MINIMIZE
+	if p.PeekKeyword("MAXIMIZE") || p.PeekKeyword("MINIMIZE") {
+		sense := Maximize
+		if p.AcceptKeyword("MINIMIZE") {
+			sense = Minimize
+		} else {
+			p.Next()
+		}
+		installGlobalHook(p)
+		e, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Objective = &Objective{Sense: sense, Expr: e}
+	}
+	if p.AcceptKeyword("LIMIT") {
+		n, err := p.ParseInt()
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("paql: LIMIT must be at least 1, got %d", n)
+		}
+		q.Limit = int(n)
+	}
+	p.AcceptPunct(";")
+	if !p.AtEOF() {
+		return nil, p.Errf("unexpected trailing input")
+	}
+	return q, nil
+}
+
+func isPaqlKeyword(s string) bool {
+	switch strings.ToUpper(s) {
+	case "REPEAT", "WHERE", "SUCH", "THAT", "MAXIMIZE", "MINIMIZE", "LIMIT", "AS", "FROM", "SELECT":
+		return true
+	}
+	return false
+}
+
+// installGlobalHook extends the expression grammar with package
+// aggregates and scalar SQL sub-queries for SUCH THAT / objectives.
+func installGlobalHook(p *parse.Parser) {
+	p.PrimaryHook = func(p *parse.Parser) (expr.Expr, bool, error) {
+		t := p.Peek()
+		if t.Kind == parse.TIdent && p.PeekAt(1).Kind == parse.TPunct && p.PeekAt(1).Text == "(" {
+			fn := strings.ToUpper(t.Text)
+			switch fn {
+			case "COUNT", "SUM", "MIN", "MAX", "AVG":
+				p.Next() // fn
+				p.Next() // (
+				agg := &Agg{Fn: fn}
+				if p.AcceptPunct("*") {
+					if fn != "COUNT" {
+						return nil, true, p.Errf("%s(*) is not valid; only COUNT(*)", fn)
+					}
+					agg.Star = true
+				} else {
+					// Aggregate arguments are plain scalar expressions
+					// over the relation; suspend the hook so nested
+					// aggregates are rejected cleanly later.
+					saved := p.PrimaryHook
+					p.PrimaryHook = nil
+					arg, err := p.ParseExpr()
+					p.PrimaryHook = saved
+					if err != nil {
+						return nil, true, err
+					}
+					agg.Arg = arg
+				}
+				if p.AcceptKeyword("WHERE") {
+					saved := p.PrimaryHook
+					p.PrimaryHook = nil
+					f, err := p.ParseExpr()
+					p.PrimaryHook = saved
+					if err != nil {
+						return nil, true, err
+					}
+					agg.Filter = f
+				}
+				if err := p.ExpectPunct(")"); err != nil {
+					return nil, true, err
+				}
+				return agg, true, nil
+			}
+		}
+		// '(' SELECT ... ')' — capture the raw SQL of the sub-query.
+		if t.Kind == parse.TPunct && t.Text == "(" {
+			nxt := p.PeekAt(1)
+			if nxt.Kind == parse.TIdent && strings.EqualFold(nxt.Text, "SELECT") {
+				p.Next() // (
+				start := p.Peek().Pos
+				depth := 1
+				end := start
+				for {
+					tok := p.Next()
+					if tok.Kind == parse.TEOF {
+						return nil, true, p.Errf("unterminated sub-query")
+					}
+					if tok.Kind == parse.TPunct {
+						switch tok.Text {
+						case "(":
+							depth++
+						case ")":
+							depth--
+							if depth == 0 {
+								end = tok.Pos
+								goto done
+							}
+						}
+					}
+				}
+			done:
+				return &Subquery{SQL: strings.TrimSpace(p.Src()[start:end])}, true, nil
+			}
+		}
+		return nil, false, nil
+	}
+}

@@ -1,0 +1,153 @@
+// Package parse provides the lexer and the scalar-expression parser
+// shared by the minidb SQL front-end and the PaQL front-end. Both
+// languages use the same token stream and the same expression grammar;
+// each front-end extends the primary production through a hook (SQL adds
+// scalar sub-queries, PaQL adds package aggregates like SUM(P.calories)).
+package parse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies tokens.
+type TokenKind uint8
+
+const (
+	TEOF TokenKind = iota
+	TIdent
+	TNumber
+	TString
+	TPunct
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TEOF:
+		return "end of input"
+	case TIdent:
+		return "identifier"
+	case TNumber:
+		return "number"
+	case TString:
+		return "string"
+	case TPunct:
+		return "symbol"
+	}
+	return "token"
+}
+
+// Token is a lexical token. Text preserves the source spelling except
+// for strings, where it holds the unescaped contents.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the source
+}
+
+// Lex tokenizes src. SQL-style comments (-- to end of line) are skipped.
+// Strings are single-quoted with ” as the escape for a quote.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(src[i])) {
+				i++
+			}
+			toks = append(toks, Token{Kind: TIdent, Text: src[start:i], Pos: start})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			if i < n && src[i] == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9' {
+				i++
+				for i < n && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+			}
+			if i < n && (src[i] == 'e' || src[i] == 'E') {
+				j := i + 1
+				if j < n && (src[j] == '+' || src[j] == '-') {
+					j++
+				}
+				if j < n && src[j] >= '0' && src[j] <= '9' {
+					i = j
+					for i < n && src[i] >= '0' && src[i] <= '9' {
+						i++
+					}
+				}
+			}
+			toks = append(toks, Token{Kind: TNumber, Text: src[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("parse: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TString, Text: sb.String(), Pos: start})
+		default:
+			start := i
+			// Multi-character operators first.
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				sym := two
+				if sym == "!=" {
+					sym = "<>"
+				}
+				toks = append(toks, Token{Kind: TPunct, Text: sym, Pos: start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '(', ')', ',', '.', '*', '+', '-', '/', '%', ';':
+				toks = append(toks, Token{Kind: TPunct, Text: string(c), Pos: start})
+				i++
+			default:
+				return nil, fmt.Errorf("parse: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TEOF, Pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,226 @@
+// Package schema defines table schemas and rows for the minidb substrate
+// and the PackageBuilder engine. A schema is an ordered list of typed,
+// optionally table-qualified columns; a row is a slice of datums aligned
+// with a schema.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Type is a declared column type. It mirrors value.Kind minus NULL
+// (every column is nullable).
+type Type uint8
+
+const (
+	TBool Type = iota
+	TInt
+	TFloat
+	TString
+)
+
+// String returns the SQL name of the type.
+func (t Type) String() string {
+	switch t {
+	case TBool:
+		return "BOOLEAN"
+	case TInt:
+		return "INTEGER"
+	case TFloat:
+		return "FLOAT"
+	case TString:
+		return "TEXT"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Kind converts the declared type to the runtime kind of its values.
+func (t Type) Kind() value.Kind {
+	switch t {
+	case TBool:
+		return value.KindBool
+	case TInt:
+		return value.KindInt
+	case TFloat:
+		return value.KindFloat
+	case TString:
+		return value.KindString
+	}
+	return value.KindNull
+}
+
+// TypeFromName parses a SQL type name. Common aliases (INT, BIGINT,
+// DOUBLE, REAL, VARCHAR, CHAR, BOOL, NUMERIC, DECIMAL) are accepted.
+func TypeFromName(name string) (Type, error) {
+	switch strings.ToUpper(name) {
+	case "BOOL", "BOOLEAN":
+		return TBool, nil
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return TInt, nil
+	case "FLOAT", "DOUBLE", "REAL", "NUMERIC", "DECIMAL":
+		return TFloat, nil
+	case "TEXT", "STRING", "VARCHAR", "CHAR":
+		return TString, nil
+	}
+	return 0, fmt.Errorf("schema: unknown type %q", name)
+}
+
+// Numeric reports whether the type is INT or FLOAT.
+func (t Type) Numeric() bool { return t == TInt || t == TFloat }
+
+// Column is a named, typed column, optionally qualified by a table or
+// alias name (e.g. "R"."calories").
+type Column struct {
+	Table string // qualifier; may be empty
+	Name  string
+	Type  Type
+}
+
+// QualifiedName renders "table.name" or just "name" when unqualified.
+func (c Column) QualifiedName() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// Schema is an ordered set of columns.
+type Schema struct {
+	Cols []Column
+}
+
+// New builds a schema from columns.
+func New(cols ...Column) Schema { return Schema{Cols: cols} }
+
+// Len returns the number of columns.
+func (s Schema) Len() int { return len(s.Cols) }
+
+// IndexOf resolves a possibly qualified column reference to an ordinal.
+// Resolution rules follow SQL:
+//   - "t.c" matches only columns with qualifier t and name c;
+//   - "c" matches any column named c regardless of qualifier, but is
+//     ambiguous if several qualifiers expose the name.
+//
+// It returns -1 and an error when the name is unknown or ambiguous.
+// Matching is case-insensitive on both parts.
+func (s Schema) IndexOf(table, name string) (int, error) {
+	found := -1
+	for i, c := range s.Cols {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if table != "" && !strings.EqualFold(c.Table, table) {
+			continue
+		}
+		if found >= 0 {
+			ref := name
+			if table != "" {
+				ref = table + "." + name
+			}
+			return -1, fmt.Errorf("schema: ambiguous column reference %q", ref)
+		}
+		found = i
+	}
+	if found < 0 {
+		ref := name
+		if table != "" {
+			ref = table + "." + name
+		}
+		return -1, fmt.Errorf("schema: unknown column %q", ref)
+	}
+	return found, nil
+}
+
+// WithQualifier returns a copy of the schema with every column's
+// qualifier replaced by table (used when a base table is aliased).
+func (s Schema) WithQualifier(table string) Schema {
+	out := Schema{Cols: make([]Column, len(s.Cols))}
+	for i, c := range s.Cols {
+		c.Table = table
+		out.Cols[i] = c
+	}
+	return out
+}
+
+// Concat returns the schema of a join: s's columns followed by o's.
+func (s Schema) Concat(o Schema) Schema {
+	out := Schema{Cols: make([]Column, 0, len(s.Cols)+len(o.Cols))}
+	out.Cols = append(out.Cols, s.Cols...)
+	out.Cols = append(out.Cols, o.Cols...)
+	return out
+}
+
+// String renders "(a INTEGER, b TEXT)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.QualifiedName())
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Row is a tuple of datums aligned with some schema.
+type Row []value.V
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Concat returns the concatenation of two rows (join output).
+func (r Row) Concat(o Row) Row {
+	out := make(Row, 0, len(r)+len(o))
+	out = append(out, r...)
+	out = append(out, o...)
+	return out
+}
+
+// String renders the row as a comma-separated list for diagnostics.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Validate checks that a row's datums conform to the schema: same arity
+// and each non-null datum has the column's kind (ints are accepted in
+// float columns and silently widen).
+func (s Schema) Validate(r Row) (Row, error) {
+	if len(r) != len(s.Cols) {
+		return nil, fmt.Errorf("schema: row has %d values, schema has %d columns", len(r), len(s.Cols))
+	}
+	out := r
+	for i, v := range r {
+		if v.IsNull() {
+			continue
+		}
+		want := s.Cols[i].Type.Kind()
+		if v.Kind() == want {
+			continue
+		}
+		if want == value.KindFloat && v.Kind() == value.KindInt {
+			if &out[0] == &r[0] {
+				out = r.Clone()
+			}
+			out[i] = value.Float(float64(v.IntVal()))
+			continue
+		}
+		return nil, fmt.Errorf("schema: column %s expects %s, got %s (%s)",
+			s.Cols[i].QualifiedName(), want, v.Kind(), v)
+	}
+	return out, nil
+}

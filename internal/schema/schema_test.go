@@ -1,0 +1,154 @@
+package schema
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{TBool: "BOOLEAN", TInt: "INTEGER", TFloat: "FLOAT", TString: "TEXT"}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q want %q", ty, got, want)
+		}
+	}
+}
+
+func TestTypeKind(t *testing.T) {
+	if TInt.Kind() != value.KindInt || TFloat.Kind() != value.KindFloat ||
+		TBool.Kind() != value.KindBool || TString.Kind() != value.KindString {
+		t.Error("Type.Kind mapping broken")
+	}
+}
+
+func TestTypeFromName(t *testing.T) {
+	ok := map[string]Type{
+		"int": TInt, "INTEGER": TInt, "BigInt": TInt,
+		"float": TFloat, "DOUBLE": TFloat, "decimal": TFloat,
+		"text": TString, "VARCHAR": TString,
+		"bool": TBool, "BOOLEAN": TBool,
+	}
+	for name, want := range ok {
+		got, err := TypeFromName(name)
+		if err != nil || got != want {
+			t.Errorf("TypeFromName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := TypeFromName("blob"); err == nil {
+		t.Error("TypeFromName(blob) should fail")
+	}
+}
+
+func TestNumeric(t *testing.T) {
+	if !TInt.Numeric() || !TFloat.Numeric() || TString.Numeric() || TBool.Numeric() {
+		t.Error("Numeric() broken")
+	}
+}
+
+func testSchema() Schema {
+	return New(
+		Column{Table: "r", Name: "id", Type: TInt},
+		Column{Table: "r", Name: "calories", Type: TFloat},
+		Column{Table: "r", Name: "name", Type: TString},
+		Column{Table: "s", Name: "id", Type: TInt},
+	)
+}
+
+func TestIndexOf(t *testing.T) {
+	s := testSchema()
+	if i, err := s.IndexOf("r", "calories"); err != nil || i != 1 {
+		t.Errorf("r.calories -> %d, %v", i, err)
+	}
+	if i, err := s.IndexOf("", "calories"); err != nil || i != 1 {
+		t.Errorf("calories -> %d, %v", i, err)
+	}
+	if i, err := s.IndexOf("R", "CALORIES"); err != nil || i != 1 {
+		t.Errorf("case-insensitive lookup -> %d, %v", i, err)
+	}
+	if _, err := s.IndexOf("", "id"); err == nil {
+		t.Error("unqualified id should be ambiguous")
+	}
+	if i, err := s.IndexOf("s", "id"); err != nil || i != 3 {
+		t.Errorf("s.id -> %d, %v", i, err)
+	}
+	if _, err := s.IndexOf("", "nope"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if _, err := s.IndexOf("x", "calories"); err == nil {
+		t.Error("wrong qualifier should fail")
+	}
+}
+
+func TestWithQualifierAndConcat(t *testing.T) {
+	s := New(Column{Name: "a", Type: TInt}, Column{Name: "b", Type: TString})
+	q := s.WithQualifier("t")
+	for _, c := range q.Cols {
+		if c.Table != "t" {
+			t.Errorf("qualifier not applied: %+v", c)
+		}
+	}
+	// original untouched
+	if s.Cols[0].Table != "" {
+		t.Error("WithQualifier must not mutate receiver")
+	}
+	j := q.Concat(s)
+	if j.Len() != 4 {
+		t.Errorf("concat len = %d", j.Len())
+	}
+	if j.Cols[0].Table != "t" || j.Cols[2].Table != "" {
+		t.Error("concat order broken")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := New(Column{Table: "r", Name: "a", Type: TInt}, Column{Name: "b", Type: TString})
+	want := "(r.a INTEGER, b TEXT)"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q want %q", got, want)
+	}
+}
+
+func TestRowCloneConcatString(t *testing.T) {
+	r := Row{value.Int(1), value.Str("x")}
+	c := r.Clone()
+	c[0] = value.Int(9)
+	if r[0].IntVal() != 1 {
+		t.Error("Clone must not alias")
+	}
+	j := r.Concat(Row{value.Bool(true)})
+	if len(j) != 3 || !j[2].Equal(value.Bool(true)) {
+		t.Errorf("Concat = %v", j)
+	}
+	if got := r.String(); got != "[1, x]" {
+		t.Errorf("Row.String = %q", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := New(Column{Name: "a", Type: TInt}, Column{Name: "b", Type: TFloat})
+	// exact types pass
+	if _, err := s.Validate(Row{value.Int(1), value.Float(2)}); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+	// nulls pass
+	if _, err := s.Validate(Row{value.Null(), value.Null()}); err != nil {
+		t.Errorf("null row rejected: %v", err)
+	}
+	// int widens to float
+	out, err := s.Validate(Row{value.Int(1), value.Int(2)})
+	if err != nil {
+		t.Fatalf("widening rejected: %v", err)
+	}
+	if out[1].Kind() != value.KindFloat {
+		t.Errorf("int not widened: %v", out[1])
+	}
+	// arity mismatch
+	if _, err := s.Validate(Row{value.Int(1)}); err == nil {
+		t.Error("short row should fail")
+	}
+	// type mismatch
+	if _, err := s.Validate(Row{value.Str("x"), value.Float(1)}); err == nil {
+		t.Error("string in int column should fail")
+	}
+}

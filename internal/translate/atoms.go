@@ -1,0 +1,159 @@
+package translate
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/lp"
+	"repro/internal/paql"
+	"repro/internal/schema"
+)
+
+// LinearAtom is one linear constraint Σᵢ W[i]·x_i (Op) RHS over the
+// candidate tuples. Search strategies consume these for incremental
+// feasibility checks and for generating the §4.2 replacement SQL.
+type LinearAtom struct {
+	W      []float64
+	Op     lp.Op
+	RHS    float64
+	Source string // rendered source atom, for SQL generation and logs
+}
+
+// Check evaluates the atom against a multiplicity vector.
+func (la *LinearAtom) Check(mult []int) bool {
+	s := 0.0
+	for i, m := range mult {
+		if m != 0 {
+			s += la.W[i] * float64(m)
+		}
+	}
+	return la.CheckSum(s)
+}
+
+// CheckSum evaluates the atom given a precomputed Σ W·x.
+func (la *LinearAtom) CheckSum(s float64) bool {
+	const tol = 1e-9
+	switch la.Op {
+	case lp.LE:
+		return s <= la.RHS+tol
+	case lp.GE:
+		return s >= la.RHS-tol
+	case lp.EQ:
+		return s >= la.RHS-tol && s <= la.RHS+tol
+	}
+	return false
+}
+
+// ConjunctiveAtoms extracts the linear SUM/COUNT comparison atoms that
+// appear as top-level conjuncts of the query's SUCH THAT formula,
+// weighted over the given candidates. The boolean result reports
+// whether the atoms are EXACTLY the formula (pure): when false (the
+// formula also has disjunctions, AVG/MIN/MAX atoms, or non-linear
+// parts), the atoms are still necessary conditions usable for sound
+// pruning, but candidates must be re-validated with paql.Satisfies.
+//
+// Strict comparisons relax to their closed forms (sound for pruning).
+func ConjunctiveAtoms(a *paql.Analysis, candidates []schema.Row) ([]*LinearAtom, bool, error) {
+	if a.Query.SuchThat == nil {
+		return nil, true, nil
+	}
+	m := &Model{Candidates: candidates, NumTupleVars: len(candidates)}
+	pure := true
+	var atoms []*LinearAtom
+	var visit func(n bnode)
+	visit = func(n bnode) {
+		switch node := n.(type) {
+		case *bAnd:
+			for _, k := range node.kids {
+				visit(k)
+			}
+		case *bOr:
+			pure = false
+		case *bAtom:
+			la, ok := m.linearAtom(node.e)
+			if !ok {
+				pure = false
+				return
+			}
+			atoms = append(atoms, la...)
+		}
+	}
+	visit(nnf(a.Query.SuchThat, false))
+	return atoms, pure, nil
+}
+
+// linearAtom converts one comparison into linear atoms (an equality
+// yields LE+GE). ok=false for shapes with no (closed) linear form.
+func (m *Model) linearAtom(e expr.Expr) ([]*LinearAtom, bool) {
+	b, isCmp := e.(*expr.Binary)
+	if !isCmp || !b.Op.Comparison() {
+		return nil, false
+	}
+	// AVG/MIN/MAX atoms are not usable for incremental sums; skip.
+	if agg, _, _, ok, _ := m.specialAtom(b); ok && agg != nil {
+		return nil, false
+	}
+	l, err := m.affineForm(b.L)
+	if err != nil {
+		return nil, false
+	}
+	r, err := m.affineForm(b.R)
+	if err != nil {
+		return nil, false
+	}
+	diff := newAffine()
+	diff.addScaled(l, 1)
+	diff.addScaled(r, -1)
+	w := make([]float64, m.NumTupleVars)
+	for key, coef := range diff.coeffs {
+		if coef == 0 {
+			continue
+		}
+		aw, err := m.aggWeights(diff.aggs[key])
+		if err != nil {
+			return nil, false
+		}
+		for i, wi := range aw {
+			w[i] += coef * wi
+		}
+	}
+	rhs := -diff.konst
+	src := e.String()
+	switch b.Op {
+	case expr.OpLe, expr.OpLt:
+		return []*LinearAtom{{W: w, Op: lp.LE, RHS: rhs, Source: src}}, true
+	case expr.OpGe, expr.OpGt:
+		return []*LinearAtom{{W: w, Op: lp.GE, RHS: rhs, Source: src}}, true
+	case expr.OpEq:
+		return []*LinearAtom{
+			{W: w, Op: lp.LE, RHS: rhs, Source: src},
+			{W: w, Op: lp.GE, RHS: rhs, Source: src},
+		}, true
+	}
+	return nil, false
+}
+
+// ObjectiveWeights linearizes the query objective over the candidates:
+// value(pkg) = Σ W[i]·mult[i] + Const. An error is returned for
+// non-affine objectives.
+func ObjectiveWeights(a *paql.Analysis, candidates []schema.Row) (w []float64, konst float64, err error) {
+	if a.Query.Objective == nil {
+		return make([]float64, len(candidates)), 0, nil
+	}
+	m := &Model{Candidates: candidates, NumTupleVars: len(candidates)}
+	form, err := m.affineForm(a.Query.Objective.Expr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("translate: objective: %w", err)
+	}
+	w = make([]float64, len(candidates))
+	for key, coef := range form.coeffs {
+		aw, err := m.aggWeights(form.aggs[key])
+		if err != nil {
+			return nil, 0, err
+		}
+		for i, wi := range aw {
+			w[i] += coef * wi
+		}
+	}
+	return w, form.konst, nil
+}

@@ -1,0 +1,208 @@
+// Package packagebuilder is a from-scratch Go implementation of
+// PackageBuilder (Brucato, Ramakrishna, Abouzied, Meliou — VLDB 2014):
+// a system that extends a relational database with *package queries*. A
+// package is a collection of tuples that individually satisfy base
+// constraints (ordinary WHERE predicates) and collectively satisfy
+// global constraints (aggregate predicates over the whole package),
+// optionally optimizing a per-package objective.
+//
+// Queries are written in PaQL, the paper's SQL-based language:
+//
+//	SELECT PACKAGE(R) AS P
+//	FROM   recipes R
+//	WHERE  R.gluten = 'free'
+//	SUCH THAT COUNT(*) = 3
+//	      AND SUM(P.calories) BETWEEN 2000 AND 2500
+//	MAXIMIZE SUM(P.protein)
+//
+// The library is self-contained: it embeds its own relational engine
+// (internal/minidb), a simplex/branch-and-bound MILP solver
+// (internal/lp, internal/milp), the PaQL front-end (internal/paql), the
+// PaQL→MILP translation (internal/translate), the search-based
+// evaluation strategies with §4.1 cardinality pruning and the §4.2
+// SQL-driven local search (internal/search), and the §3 interface
+// abstractions (internal/explore, internal/viz, internal/template).
+//
+// Typical use:
+//
+//	sys := packagebuilder.New()
+//	_ = dataset.LoadRecipes(sys.DB(), "recipes", dataset.RecipesConfig{N: 500, Seed: 1})
+//	res, err := sys.Query(queryText)          // evaluate a PaQL query
+//	ses, err := sys.Explore(queryText)        // adaptive exploration
+package packagebuilder
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/minidb"
+	"repro/internal/paql"
+	"repro/internal/template"
+	"repro/internal/viz"
+)
+
+// System is a PackageBuilder instance: an embedded database plus the
+// package-query engine. Safe for concurrent readers.
+type System struct {
+	db *minidb.DB
+}
+
+// New creates an empty system.
+func New() *System {
+	return &System{db: minidb.New()}
+}
+
+// DB exposes the embedded relational engine (DDL, SQL, CSV loading).
+func (s *System) DB() *minidb.DB { return s.db }
+
+// ExecSQL runs one SQL statement against the embedded database.
+func (s *System) ExecSQL(sql string) (*minidb.Result, error) {
+	return s.db.Exec(sql)
+}
+
+// LoadCSV loads CSV data (header row; "name:type" cells supported) into
+// a new table, returning the row count.
+func (s *System) LoadCSV(table string, r io.Reader) (int, error) {
+	return s.db.LoadCSV(table, r)
+}
+
+// LoadCSVFile is LoadCSV from a file path.
+func (s *System) LoadCSVFile(table, path string) (int, error) {
+	return s.db.LoadCSVFile(table, path)
+}
+
+// Strategy selects the evaluation strategy. See the core package for
+// semantics; Auto picks by linearity and scale.
+type Strategy = core.Strategy
+
+// Evaluation strategies.
+const (
+	Auto        = core.Auto
+	BruteForce  = core.BruteForceStrategy
+	PrunedEnum  = core.PrunedEnum
+	LocalSearch = core.LocalSearchStrategy
+	Solver      = core.Solver
+)
+
+// Result is a query evaluation outcome. Re-exported from core.
+type Result = core.Result
+
+// Package is one evaluated package. Re-exported from core.
+type Package = core.Package
+
+// Option tunes query evaluation.
+type Option func(*core.Options)
+
+// WithStrategy forces an evaluation strategy.
+func WithStrategy(st Strategy) Option { return func(o *core.Options) { o.Strategy = st } }
+
+// WithLimit requests n packages (overrides the query's LIMIT).
+func WithLimit(n int) Option { return func(o *core.Options) { o.Limit = n } }
+
+// WithTimeout bounds evaluation time.
+func WithTimeout(d time.Duration) Option { return func(o *core.Options) { o.Timeout = d } }
+
+// WithSeed seeds the randomized strategies.
+func WithSeed(seed int64) Option { return func(o *core.Options) { o.Seed = seed } }
+
+// WithDiverse returns a diverse package set instead of the top-k.
+func WithDiverse() Option { return func(o *core.Options) { o.Diverse = true } }
+
+// WithRestarts sets local-search restarts.
+func WithRestarts(n int) Option { return func(o *core.Options) { o.Restarts = n } }
+
+// WithRequire pins candidate indexes into every package.
+func WithRequire(idx ...int) Option { return func(o *core.Options) { o.Require = idx } }
+
+func buildOptions(opts []Option) core.Options {
+	var o core.Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// Query evaluates a PaQL query.
+func (s *System) Query(paqlText string, opts ...Option) (*Result, error) {
+	return core.Evaluate(s.db, paqlText, buildOptions(opts))
+}
+
+// Prepare parses and binds a PaQL query for repeated evaluation.
+func (s *System) Prepare(paqlText string) (*core.Prepared, error) {
+	return core.Prepare(s.db, paqlText)
+}
+
+// Parse parses PaQL without evaluating it.
+func (s *System) Parse(paqlText string) (*paql.Query, error) {
+	return paql.Parse(paqlText)
+}
+
+// Explore opens an adaptive-exploration session (§3.3): evaluate,
+// pin tuples, request replacements.
+func (s *System) Explore(paqlText string, opts ...Option) (*explore.Session, error) {
+	return explore.NewSession(s.db, paqlText, buildOptions(opts))
+}
+
+// Template converts PaQL text into an editable package template (§3.1).
+func (s *System) Template(paqlText string) (*template.Template, error) {
+	return template.FromText(paqlText)
+}
+
+// Summarize lays out packages along two automatically selected
+// dimensions (§3.2).
+func (s *System) Summarize(prep *core.Prepared, pkgs []*Package, currentIdx int, running bool) (*viz.Summary, error) {
+	return viz.Summarize(prep, pkgs, currentIdx, running)
+}
+
+// FormatResult renders an evaluation result: each package as a table of
+// its tuples plus aggregate values, then the evaluation statistics.
+func FormatResult(w io.Writer, sys *System, res *Result) {
+	tab, ok := sys.db.Table(res.Query.Table)
+	if !ok {
+		fmt.Fprintf(w, "(relation %s vanished)\n", res.Query.Table)
+		return
+	}
+	if len(res.Packages) == 0 {
+		fmt.Fprintln(w, "no package satisfies the query")
+	}
+	for i, p := range res.Packages {
+		fmt.Fprintf(w, "package %d of %d", i+1, len(res.Packages))
+		if res.Query.Objective != nil {
+			fmt.Fprintf(w, "  (%s %s = %g)", res.Query.Objective.Sense,
+				res.Query.Objective.Expr, p.Objective)
+		}
+		fmt.Fprintln(w)
+		r := &minidb.Result{Schema: tab.Schema, Rows: p.Rows}
+		r.Format(w)
+		for _, k := range sortedAggKeys(p) {
+			fmt.Fprintf(w, "  %-40s %s\n", k, p.AggValues[k])
+		}
+		fmt.Fprintln(w)
+	}
+	st := res.Stats
+	fmt.Fprintf(w, "strategy=%s exact=%v candidates=%d bounds=%s elapsed=%s\n",
+		st.Strategy, st.Exact, st.Candidates, st.Bounds, st.Elapsed.Round(time.Microsecond))
+	if st.SpaceFull != nil && st.SpacePruned != nil {
+		fmt.Fprintf(w, "search space: %s of %s candidate packages after §4.1 pruning\n",
+			st.SpacePruned.String(), st.SpaceFull.String())
+	}
+	for _, n := range st.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+func sortedAggKeys(p *Package) []string {
+	keys := make([]string, 0, len(p.AggValues))
+	for k := range p.AggValues {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

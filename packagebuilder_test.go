@@ -1,0 +1,221 @@
+package packagebuilder_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	pb "repro"
+	"repro/internal/dataset"
+	"repro/internal/explore"
+)
+
+func newSystem(t *testing.T, n int) *pb.System {
+	t.Helper()
+	sys := pb.New()
+	if err := dataset.LoadRecipes(sys.DB(), "recipes", dataset.RecipesConfig{N: n, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+const mealQuery = `
+	SELECT PACKAGE(R) AS P
+	FROM recipes R
+	WHERE R.gluten = 'free'
+	SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500
+	MAXIMIZE SUM(P.protein)`
+
+func TestPublicAPIQuery(t *testing.T) {
+	sys := newSystem(t, 200)
+	res, err := sys.Query(mealQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Packages) != 1 {
+		t.Fatalf("packages = %d", len(res.Packages))
+	}
+	p := res.Packages[0]
+	if p.Size() != 3 {
+		t.Errorf("size = %d", p.Size())
+	}
+	cal, _ := p.AggValues["SUM(R.calories)"].AsFloat()
+	if cal < 2000 || cal > 2500 {
+		t.Errorf("calories = %g outside [2000, 2500]", cal)
+	}
+	for _, row := range p.Rows {
+		if row[4].StrVal() != "free" {
+			t.Errorf("base constraint violated: %v", row)
+		}
+	}
+}
+
+func TestPublicAPIOptions(t *testing.T) {
+	sys := newSystem(t, 60)
+	res, err := sys.Query(mealQuery,
+		pb.WithStrategy(pb.LocalSearch), pb.WithSeed(3), pb.WithRestarts(6),
+		pb.WithLimit(2), pb.WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Strategy != pb.LocalSearch {
+		t.Errorf("strategy = %v", res.Stats.Strategy)
+	}
+	if len(res.Packages) == 0 || len(res.Packages) > 2 {
+		t.Errorf("packages = %d", len(res.Packages))
+	}
+	// exact strategies agree through the public API
+	solver, err := sys.Query(mealQuery, pb.WithStrategy(pb.Solver))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := sys.Query(mealQuery, pb.WithStrategy(pb.PrunedEnum))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solver.Packages[0].Objective != pruned.Packages[0].Objective {
+		t.Errorf("solver %g != pruned %g",
+			solver.Packages[0].Objective, pruned.Packages[0].Objective)
+	}
+	// diverse option
+	div, err := sys.Query(mealQuery, pb.WithLimit(3), pb.WithDiverse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(div.Packages) == 0 {
+		t.Error("diverse query found nothing")
+	}
+}
+
+func TestPublicAPISQLAndCSV(t *testing.T) {
+	sys := pb.New()
+	csv := "id:int,x:float\n1,10\n2,20\n3,30\n"
+	if n, err := sys.LoadCSV("t", strings.NewReader(csv)); err != nil || n != 3 {
+		t.Fatalf("LoadCSV = %d, %v", n, err)
+	}
+	res, err := sys.ExecSQL(`SELECT SUM(x) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := res.Rows[0][0].AsFloat(); f != 60 {
+		t.Errorf("sum = %g", f)
+	}
+	q, err := sys.Parse(`SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) = 2`)
+	if err != nil || q.Table != "t" {
+		t.Errorf("Parse = %v, %v", q, err)
+	}
+	pkg, err := sys.Query(`SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) = 2 AND SUM(P.x) <= 30 MAXIMIZE SUM(P.x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Packages[0].Objective != 30 {
+		t.Errorf("objective = %g, want 30 (10+20)", pkg.Packages[0].Objective)
+	}
+}
+
+func TestPublicAPIExploreAndTemplate(t *testing.T) {
+	sys := newSystem(t, 100)
+	ses, err := sys.Explore(mealQuery, pb.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := ses.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range first.Mult {
+		if m > 0 {
+			if err := ses.Pin(i); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	next, err := ses.Replace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Size() != 3 {
+		t.Errorf("replacement size = %d", next.Size())
+	}
+	sugg, err := ses.Suggest(explore.Highlight{Column: "fat", Row: -1})
+	if err != nil || len(sugg) == 0 {
+		t.Errorf("Suggest = %v, %v", sugg, err)
+	}
+	tpl, err := sys.Template(mealQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tpl.Globals) != 2 {
+		t.Errorf("template globals = %v", tpl.Globals)
+	}
+	// summary over several packages
+	prep, err := sys.Prepare(mealQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query(mealQuery, pb.WithLimit(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := sys.Summarize(prep, res.Packages, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Points) != len(res.Packages) {
+		t.Errorf("summary points = %d", len(sum.Points))
+	}
+}
+
+func TestFormatResultOutput(t *testing.T) {
+	sys := newSystem(t, 80)
+	res, err := sys.Query(mealQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	pb.FormatResult(&sb, sys, res)
+	out := sb.String()
+	for _, want := range []string{"package 1 of 1", "MAXIMIZE", "COUNT(*)", "strategy=", "search space"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatResult missing %q:\n%s", want, out)
+		}
+	}
+	// empty result
+	empty, err := sys.Query(`SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2 AND COUNT(*) = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	pb.FormatResult(&sb, sys, empty)
+	if !strings.Contains(sb.String(), "no package") {
+		t.Error("empty-result message missing")
+	}
+}
+
+// TestPaperRunningExampleEndToEnd is the paper's §2 query, verified
+// end-to-end across all strategies on a fixed dataset.
+func TestPaperRunningExampleEndToEnd(t *testing.T) {
+	sys := newSystem(t, 150)
+	var objectives []float64
+	for _, st := range []pb.Strategy{pb.Solver, pb.PrunedEnum} {
+		res, err := sys.Query(mealQuery, pb.WithStrategy(st))
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		if !res.Stats.Exact {
+			t.Errorf("%v not exact", st)
+		}
+		objectives = append(objectives, res.Packages[0].Objective)
+	}
+	if objectives[0] != objectives[1] {
+		t.Errorf("exact strategies disagree: %v", objectives)
+	}
+	heur, err := sys.Query(mealQuery, pb.WithStrategy(pb.LocalSearch), pb.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heur.Packages) > 0 && heur.Packages[0].Objective > objectives[0] {
+		t.Error("heuristic exceeded the proven optimum")
+	}
+}
