@@ -16,6 +16,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/minidb"
 	"repro/internal/search"
+	"repro/internal/sketch"
 	"repro/internal/translate"
 	"repro/internal/viz"
 )
@@ -236,5 +237,41 @@ func BenchmarkE7_Diversity(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkE8_SketchRefine compares the partition-based SketchRefine
+// strategy against the exact MILP solver as the relation grows (the
+// follow-up papers' scalability claim). cmd/pbench -exp e8 prints the
+// matching objective-gap table, including the N=100k point.
+func BenchmarkE8_SketchRefine(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		prep := benchPrep(b, n)
+		b.Run(fmt.Sprintf("exact/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := prep.Run(core.Options{Strategy: core.Solver, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sketch/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := prep.Run(core.Options{Strategy: core.SketchRefineStrategy, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSketchPartition isolates the offline partitioning step.
+func BenchmarkSketchPartition(b *testing.B) {
+	prep := benchPrep(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		part := sketch.Partition(prep.Instance, sketch.Options{MaxPartitionSize: 64, Seed: 1})
+		if len(part.Groups) == 0 {
+			b.Fatal("no partitions")
+		}
 	}
 }

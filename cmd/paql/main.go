@@ -16,6 +16,7 @@
 //	     SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500
 //	     MAXIMIZE SUM(P.protein)"
 //	paql -gen recipes:1000:1 -strategy local-search -limit 3 -q "..."
+//	paql -gen recipes:100000:1 -strategy sketch -sketch-size 128 -q "..."
 package main
 
 import (
@@ -41,10 +42,12 @@ func main() {
 	flag.Var(&gens, "gen", "kind:n:seed synthetic table (kinds: recipes, vacation, stocks)")
 	query := flag.String("q", "", "PaQL query text")
 	file := flag.String("f", "", "file containing the PaQL query")
-	strategy := flag.String("strategy", "auto", "auto | solver | pruned-enum | local-search | brute-force")
+	strategy := flag.String("strategy", "auto", "auto | solver | sketch-refine | pruned-enum | local-search | brute-force")
 	limit := flag.Int("limit", 0, "number of packages (overrides query LIMIT)")
 	diverse := flag.Bool("diverse", false, "return diverse packages instead of top-k")
 	seed := flag.Int64("seed", 1, "randomized strategy seed")
+	sketchSize := flag.Int("sketch-size", 0, "sketch-refine partition size bound (0 = default)")
+	sketchParts := flag.Int("sketch-partitions", 0, "sketch-refine partition count target (0 = off)")
 	flag.Parse()
 
 	sys := pb.New()
@@ -73,15 +76,29 @@ func main() {
 		}
 		text = string(raw)
 	}
+	cli := cliOpts{
+		strategy: *strategy, limit: *limit, diverse: *diverse, seed: *seed,
+		sketchSize: *sketchSize, sketchParts: *sketchParts,
+	}
 	if text == "" {
-		repl(sys, *strategy, *limit, *diverse, *seed)
+		repl(sys, cli)
 		return
 	}
-	runQuery(sys, text, *strategy, *limit, *diverse, *seed)
+	runQuery(sys, text, cli)
 }
 
-func runQuery(sys *pb.System, text, strategy string, limit int, diverse bool, seed int64) {
-	opts, err := buildOpts(strategy, limit, diverse, seed)
+// cliOpts carries the evaluation flags shared by one-shot and REPL use.
+type cliOpts struct {
+	strategy    string
+	limit       int
+	diverse     bool
+	seed        int64
+	sketchSize  int
+	sketchParts int
+}
+
+func runQuery(sys *pb.System, text string, cli cliOpts) {
+	opts, err := buildOpts(cli)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -92,28 +109,24 @@ func runQuery(sys *pb.System, text, strategy string, limit int, diverse bool, se
 	pb.FormatResult(os.Stdout, sys, res)
 }
 
-func buildOpts(strategy string, limit int, diverse bool, seed int64) ([]pb.Option, error) {
-	var opts []pb.Option
-	switch strings.ToLower(strategy) {
-	case "auto", "":
-	case "solver":
-		opts = append(opts, pb.WithStrategy(pb.Solver))
-	case "pruned-enum", "pruned":
-		opts = append(opts, pb.WithStrategy(pb.PrunedEnum))
-	case "local-search", "local":
-		opts = append(opts, pb.WithStrategy(pb.LocalSearch))
-	case "brute-force", "brute":
-		opts = append(opts, pb.WithStrategy(pb.BruteForce))
-	default:
-		return nil, fmt.Errorf("unknown strategy %q", strategy)
+func buildOpts(cli cliOpts) ([]pb.Option, error) {
+	st, err := pb.ParseStrategy(cli.strategy)
+	if err != nil {
+		return nil, err
 	}
-	if limit > 0 {
-		opts = append(opts, pb.WithLimit(limit))
+	opts := []pb.Option{pb.WithStrategy(st), pb.WithSeed(cli.seed)}
+	if cli.limit > 0 {
+		opts = append(opts, pb.WithLimit(cli.limit))
 	}
-	if diverse {
+	if cli.diverse {
 		opts = append(opts, pb.WithDiverse())
 	}
-	opts = append(opts, pb.WithSeed(seed))
+	if cli.sketchSize > 0 {
+		opts = append(opts, pb.WithSketchPartitionSize(cli.sketchSize))
+	}
+	if cli.sketchParts > 0 {
+		opts = append(opts, pb.WithSketchPartitions(cli.sketchParts))
+	}
 	return opts, nil
 }
 
@@ -149,7 +162,7 @@ func generate(sys *pb.System, spec string) error {
 }
 
 // repl reads ';'-terminated statements: PaQL (SELECT PACKAGE...) or SQL.
-func repl(sys *pb.System, strategy string, limit int, diverse bool, seed int64) {
+func repl(sys *pb.System, cli cliOpts) {
 	fmt.Println("PackageBuilder REPL — PaQL or SQL, ';' terminated, \\q to quit")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -170,16 +183,16 @@ func repl(sys *pb.System, strategy string, limit int, diverse bool, seed int64) 
 		stmt := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
 		buf.Reset()
 		if stmt != "" {
-			execStmt(sys, stmt, strategy, limit, diverse, seed)
+			execStmt(sys, stmt, cli)
 		}
 		prompt()
 	}
 }
 
-func execStmt(sys *pb.System, stmt, strategy string, limit int, diverse bool, seed int64) {
+func execStmt(sys *pb.System, stmt string, cli cliOpts) {
 	upper := strings.ToUpper(stmt)
 	if strings.HasPrefix(upper, "SELECT PACKAGE") {
-		opts, err := buildOpts(strategy, limit, diverse, seed)
+		opts, err := buildOpts(cli)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return

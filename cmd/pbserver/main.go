@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -24,10 +25,32 @@ import (
 	"repro/internal/viz"
 )
 
+// maxBodyBytes bounds request bodies so a client cannot stream an
+// unbounded payload into the JSON decoder.
+const maxBodyBytes = 1 << 20
+
+// server holds the demo state. The database is read-only after startup
+// and safe for concurrent readers; mu guards only the mutable
+// exploration session (the booth-kiosk state), taken for reading by
+// handlers that render it and for writing by handlers that swap or
+// mutate it. Query evaluation itself runs outside the lock, so
+// concurrent /api/query requests proceed in parallel.
 type server struct {
-	mu  sync.Mutex
-	db  *minidb.DB
+	db *minidb.DB
+
+	mu  sync.RWMutex
 	ses *explore.Session // one demo session, like the booth kiosk
+}
+
+// session returns the current exploration session or an error when no
+// query has been run yet.
+func (s *server) session() (*explore.Session, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.ses == nil {
+		return nil, fmt.Errorf("no active query")
+	}
+	return s.ses, nil
 }
 
 func main() {
@@ -50,7 +73,19 @@ func main() {
 	mux.HandleFunc("/api/suggest", s.handleSuggest)
 	mux.HandleFunc("/api/summary", s.handleSummary)
 	fmt.Fprintf(os.Stderr, "PackageBuilder meal planner on http://localhost%s (%d recipes)\n", *addr, *n)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	// A hardened server: a slow or hostile client cannot hold a
+	// connection (and its handler goroutine) open indefinitely, and
+	// request bodies are capped before they reach the JSON decoders.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           http.MaxBytesHandler(mux, maxBodyBytes),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+	log.Fatal(srv.ListenAndServe())
 }
 
 type pkgJSON struct {
@@ -63,8 +98,8 @@ type pkgJSON struct {
 	Pinned    []int             `json:"pinned"`
 }
 
-func (s *server) packageJSON(p *core.Package, stats *core.Stats) *pkgJSON {
-	tab, _ := s.db.Table(s.ses.Query().Table)
+func (s *server) packageJSON(ses *explore.Session, p *core.Package, stats *core.Stats) *pkgJSON {
+	tab, _ := s.db.Table(ses.Query().Table)
 	out := &pkgJSON{Aggs: map[string]string{}, Stats: map[string]any{}}
 	for _, c := range tab.Schema.Cols {
 		out.Columns = append(out.Columns, c.Name)
@@ -81,38 +116,63 @@ func (s *server) packageJSON(p *core.Package, stats *core.Stats) *pkgJSON {
 		out.Aggs[k] = v.String()
 	}
 	out.Objective = p.Objective
-	out.Pinned = s.ses.Pinned()
+	out.Pinned = ses.Pinned()
 	if stats != nil {
 		out.Stats["strategy"] = stats.Strategy.String()
 		out.Stats["exact"] = stats.Exact
 		out.Stats["candidates"] = stats.Candidates
 		out.Stats["bounds"] = stats.Bounds.String()
 		out.Stats["elapsedMs"] = float64(stats.Elapsed.Microseconds()) / 1000
+		if stats.Partitions > 0 {
+			out.Stats["partitions"] = stats.Partitions
+		}
 	}
 	return out
 }
 
+// decodeJSON parses a body-limited JSON request.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	return json.NewDecoder(r.Body).Decode(v)
+}
+
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var req struct {
-		Query string `json:"query"`
+		Query    string `json:"query"`
+		Strategy string `json:"strategy"` // "", "auto", "solver", "sketch-refine", ...
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		httpErr(w, err)
 		return
 	}
-	ses, err := explore.NewSession(s.db, req.Query, core.Options{Seed: 1})
+	opts := core.Options{Seed: 1}
+	if req.Strategy != "" {
+		st, err := core.ParseStrategy(req.Strategy)
+		if err != nil {
+			httpErr(w, err)
+			return
+		}
+		opts.Strategy = st
+	}
+	// Evaluation is the expensive part; it runs without the lock so
+	// concurrent queries don't serialize behind one another.
+	ses, err := explore.NewSession(s.db, req.Query, opts)
 	if err != nil {
 		httpErr(w, err)
 		return
 	}
-	s.ses = ses
 	if _, err := ses.Refresh(); err != nil {
 		httpErr(w, err)
 		return
 	}
-	writeJSON(w, s.packageJSON(ses.Current(), nil))
+	// Render before publishing: once s.ses is swapped, concurrent
+	// replace/pin handlers may mutate the session, so it must not be
+	// read lock-free after this point.
+	out := s.packageJSON(ses, ses.Current(), ses.Stats())
+	s.mu.Lock()
+	s.ses = ses
+	s.mu.Unlock()
+	writeJSON(w, out)
 }
 
 func (s *server) handleReplace(w http.ResponseWriter, r *http.Request) {
@@ -126,22 +186,22 @@ func (s *server) handleReplace(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, err)
 		return
 	}
-	writeJSON(w, s.packageJSON(s.ses.Current(), nil))
+	writeJSON(w, s.packageJSON(s.ses, s.ses.Current(), s.ses.Stats()))
 }
 
 func (s *server) handlePin(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.ses == nil {
-		httpErr(w, fmt.Errorf("no active query"))
-		return
-	}
 	var req struct {
 		RowID int  `json:"rowId"`
 		Unpin bool `json:"unpin"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		httpErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ses == nil {
+		httpErr(w, fmt.Errorf("no active query"))
 		return
 	}
 	if req.Unpin {
@@ -158,14 +218,15 @@ func (s *server) handlePin(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleSuggest(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.ses == nil {
-		httpErr(w, fmt.Errorf("no active query"))
+	ses, err := s.session()
+	if err != nil {
+		httpErr(w, err)
 		return
 	}
 	col := r.URL.Query().Get("column")
-	sugg, err := s.ses.Suggest(explore.Highlight{Column: col, Row: -1})
+	// Suggest reads only the session's immutable prepared query, so it
+	// runs without the lock, like handleSummary's prep.Run.
+	sugg, err := ses.Suggest(explore.Highlight{Column: col, Row: -1})
 	if err != nil {
 		httpErr(w, err)
 		return
@@ -174,13 +235,16 @@ func (s *server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.ses == nil {
-		httpErr(w, fmt.Errorf("no active query"))
+	ses, err := s.session()
+	if err != nil {
+		httpErr(w, err)
 		return
 	}
-	prep := s.ses.Prepared()
+	s.mu.RLock()
+	prep := ses.Prepared()
+	s.mu.RUnlock()
+	// prep.Run is a pure read over the prepared query and the database;
+	// it needs no lock, so summaries render concurrently too.
 	res, err := prep.Run(core.Options{Limit: 9, Seed: 1})
 	if err != nil {
 		httpErr(w, err)
@@ -263,9 +327,15 @@ function render(p) {
   });
   h += '</table>';
   document.getElementById('pkg').innerHTML = h;
+  let stats = '';
+  if (p.stats && p.stats.strategy) {
+    stats = '\nstrategy: ' + p.stats.strategy +
+      (p.stats.partitions ? ' (' + p.stats.partitions + ' partitions)' : '') +
+      '  candidates: ' + p.stats.candidates + '  ' + p.stats.elapsedMs + 'ms';
+  }
   document.getElementById('aggs').textContent =
     Object.entries(p.aggregates).map(([k,v])=>k.padEnd(36)+v).join('\n') +
-    '\nobjective: ' + p.objective;
+    '\nobjective: ' + p.objective + stats;
 }
 function isPinnedId(id, p) { return false; /* pin state shown after refresh */ }
 async function run() { render(await post('/api/query', {query: document.getElementById('q').value})); }

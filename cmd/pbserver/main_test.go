@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/dataset"
@@ -128,4 +129,98 @@ func mustJSON(s string) string {
 func itoa(i int) string {
 	b, _ := json.Marshal(i)
 	return string(b)
+}
+
+func TestQueryStrategyExposure(t *testing.T) {
+	s := testServer(t)
+	rec, out := postJSON(t, s.handleQuery,
+		`{"query": `+mustJSON(demoQuery)+`, "strategy": "sketch-refine"}`)
+	if rec.Code != 200 {
+		t.Fatalf("sketch query status %d: %s", rec.Code, rec.Body)
+	}
+	var stats map[string]any
+	_ = json.Unmarshal(out["stats"], &stats)
+	if stats["strategy"] != "sketch-refine" {
+		t.Errorf("stats.strategy = %v", stats["strategy"])
+	}
+	if p, ok := stats["partitions"].(float64); !ok || p <= 0 {
+		t.Errorf("stats.partitions = %v", stats["partitions"])
+	}
+	rec2, _ := postJSON(t, s.handleQuery,
+		`{"query": `+mustJSON(demoQuery)+`, "strategy": "warp-drive"}`)
+	if rec2.Code != http.StatusBadRequest {
+		t.Errorf("unknown strategy status = %d", rec2.Code)
+	}
+}
+
+// TestConcurrentQueryTraffic hammers the API from many goroutines —
+// queries evaluating in parallel with replaces, pins, suggestions and
+// summaries — so `go test -race` can catch locking regressions in the
+// session-swap path.
+func TestConcurrentQueryTraffic(t *testing.T) {
+	s := testServer(t)
+	if rec, _ := postJSON(t, s.handleQuery, `{"query": `+mustJSON(demoQuery)+`}`); rec.Code != 200 {
+		t.Fatalf("seed query: %s", rec.Body)
+	}
+	const workers = 12
+	errs := make(chan string, workers*4)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				rec := httptest.NewRecorder()
+				switch i % 5 {
+				case 0:
+					req := httptest.NewRequest("POST", "/api/query",
+						strings.NewReader(`{"query": `+mustJSON(demoQuery)+`}`))
+					s.handleQuery(rec, req)
+					if rec.Code != 200 {
+						errs <- "query: " + rec.Body.String()
+					}
+				case 1:
+					req := httptest.NewRequest("POST", "/api/replace", strings.NewReader(`{}`))
+					s.handleReplace(rec, req)
+					// "no further distinct package" is a legitimate outcome
+				case 2:
+					req := httptest.NewRequest("GET", "/api/suggest?column=fat", nil)
+					s.handleSuggest(rec, req)
+					if rec.Code != 200 {
+						errs <- "suggest: " + rec.Body.String()
+					}
+				case 3:
+					req := httptest.NewRequest("GET", "/api/summary", nil)
+					s.handleSummary(rec, req)
+					if rec.Code != 200 {
+						errs <- "summary: " + rec.Body.String()
+					}
+				case 4:
+					// Pin/unpin mutate the session's pinned map; racing
+					// them against queries is the point. A 400 ("row id
+					// is not a candidate") is a legitimate outcome.
+					body := `{"rowId": 1}`
+					if j%2 == 1 {
+						body = `{"rowId": 1, "unpin": true}`
+					}
+					req := httptest.NewRequest("POST", "/api/pin", strings.NewReader(body))
+					s.handlePin(rec, req)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+func TestBodyLimitRejectsHugePayload(t *testing.T) {
+	s := testServer(t)
+	huge := strings.Repeat("x", maxBodyBytes+1024)
+	rec, _ := postJSON(t, s.handleQuery, `{"query": `+mustJSON(huge)+`}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized body status = %d", rec.Code)
+	}
 }

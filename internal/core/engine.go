@@ -11,12 +11,17 @@
 //   - PrunedEnum: exact enumeration within cardinality bounds (§4.1).
 //   - LocalSearchStrategy: SQL-join k-replacement hill climbing (§4.2).
 //   - BruteForceStrategy: the 2^n baseline, for ground truth.
+//   - SketchRefineStrategy: the follow-up papers' partition-based
+//     SketchRefine (internal/sketch) — solve a small sketch over
+//     partition representatives, then refine per partition; heuristic
+//     but fast at large n.
 //   - Auto: pick by linearity and scale.
 package core
 
 import (
 	"fmt"
 	"math/big"
+	"strings"
 	"time"
 
 	"repro/internal/expr"
@@ -42,6 +47,10 @@ const (
 	LocalSearchStrategy
 	// Solver translates to a MILP and runs branch-and-bound.
 	Solver
+	// SketchRefineStrategy partitions the candidates, solves a sketch
+	// MILP over partition representatives, and refines per partition
+	// (the PVLDB 2016 follow-up's SketchRefine).
+	SketchRefineStrategy
 )
 
 func (s Strategy) String() string {
@@ -56,8 +65,30 @@ func (s Strategy) String() string {
 		return "local-search"
 	case Solver:
 		return "solver"
+	case SketchRefineStrategy:
+		return "sketch-refine"
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy resolves a strategy name (as used by the CLIs and the
+// HTTP API) to its Strategy value.
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "auto":
+		return Auto, nil
+	case "brute-force", "brute":
+		return BruteForceStrategy, nil
+	case "pruned-enum", "pruned":
+		return PrunedEnum, nil
+	case "local-search", "local":
+		return LocalSearchStrategy, nil
+	case "solver", "milp":
+		return Solver, nil
+	case "sketch-refine", "sketch":
+		return SketchRefineStrategy, nil
+	}
+	return Auto, fmt.Errorf("core: unknown strategy %q (auto, solver, sketch-refine, pruned-enum, local-search, brute-force)", name)
 }
 
 // Options tunes evaluation.
@@ -88,6 +119,12 @@ type Options struct {
 	// ComputeSpace fills Stats.SpacePruned/SpaceFull (costs a few
 	// binomials; on by default for n ≤ 4096).
 	ComputeSpace bool
+	// SketchPartitionSize bounds SketchRefine partitions (τ; 0 =
+	// default 64).
+	SketchPartitionSize int
+	// SketchPartitions targets a SketchRefine partition count instead;
+	// the tighter of the two bounds wins.
+	SketchPartitions int
 	// Require lists candidate indexes (positions in the candidate set,
 	// not base-table row ids) that must appear in every package —
 	// adaptive exploration (§3.3) pins kept tuples through this.
@@ -136,6 +173,8 @@ type Stats struct {
 	LPIters     int          // simplex iterations (solver)
 	SQLQueries  int          // replacement queries (local search)
 	Restarts    int          // local-search restarts
+	Partitions  int          // partitions built (sketch-refine)
+	Repaired    int          // partitions greedily repaired (sketch-refine)
 	Elapsed     time.Duration
 	Notes       []string // strategy decisions, fallbacks, caveats
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/milp"
 	"repro/internal/prune"
 	"repro/internal/search"
+	"repro/internal/sketch"
 	"repro/internal/translate"
 )
 
@@ -14,6 +15,12 @@ import (
 // preferred for non-linear queries; beyond it the engine falls back to
 // local search.
 const autoThreshold = 22
+
+// sketchAutoThreshold is the candidate count above which Auto prefers
+// SketchRefine over the exact MILP solver for linear queries: one huge
+// solve becomes many small per-partition solves, trading a bounded
+// objective gap for much lower latency.
+const sketchAutoThreshold = 4096
 
 // Run evaluates the prepared query under the given options.
 func (p *Prepared) Run(opts Options) (*Result, error) {
@@ -59,6 +66,24 @@ func (p *Prepared) Run(opts Options) (*Result, error) {
 			strat = LocalSearchStrategy
 		}
 	}
+	if strat == SketchRefineStrategy {
+		if err := sketch.Applicable(inst); err != nil {
+			res.Stats.Notes = append(res.Stats.Notes,
+				fmt.Sprintf("sketch-refine unavailable (%v); falling back", err))
+			switch {
+			case p.Analysis.Linear:
+				strat = Solver
+			case len(inst.Rows) <= autoThreshold:
+				strat = PrunedEnum
+			default:
+				strat = LocalSearchStrategy
+			}
+		} else if len(opts.Require) > 0 {
+			res.Stats.Notes = append(res.Stats.Notes,
+				"sketch-refine does not support pinned tuples; falling back to the solver")
+			strat = Solver
+		}
+	}
 	res.Stats.Strategy = strat
 
 	var mults [][]int
@@ -72,6 +97,8 @@ func (p *Prepared) Run(opts Options) (*Result, error) {
 		mults, err = p.runLocal(res, opts, fetch)
 	case Solver:
 		mults, err = p.runSolver(res, opts, fetch)
+	case SketchRefineStrategy:
+		mults, err = p.runSketch(res, opts, fetch)
 	default:
 		err = fmt.Errorf("engine: unknown strategy %v", strat)
 	}
@@ -103,6 +130,11 @@ func (p *Prepared) Run(opts Options) (*Result, error) {
 func (p *Prepared) chooseStrategy(st *Stats, opts Options) Strategy {
 	n := len(p.Instance.Rows)
 	switch {
+	case p.Analysis.Linear && n > sketchAutoThreshold &&
+		sketch.Applicable(p.Instance) == nil && len(opts.Require) == 0:
+		st.Notes = append(st.Notes, fmt.Sprintf(
+			"auto: linear query, %d candidates > %d -> SketchRefine (partitioned MILP)", n, sketchAutoThreshold))
+		return SketchRefineStrategy
 	case p.Analysis.Linear && p.Instance.MaxMult > 0:
 		st.Notes = append(st.Notes, "auto: linear query -> MILP solver")
 		return Solver
@@ -172,6 +204,38 @@ func (p *Prepared) runLocal(res *Result, opts Options, fetch int) ([][]int, erro
 		mults = append(mults, pk.Mult)
 	}
 	return mults, nil
+}
+
+func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, error) {
+	sres, err := sketch.Solve(p.Instance, sketch.Options{
+		MaxPartitionSize: opts.SketchPartitionSize,
+		NumPartitions:    opts.SketchPartitions,
+		Seed:             opts.Seed,
+		Timeout:          opts.Timeout,
+		SolverNodes:      opts.SolverNodes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Partitions = sres.Partitions
+	res.Stats.Repaired = sres.Repaired
+	res.Stats.Nodes += sres.Nodes
+	res.Stats.LPIters += sres.LPIters
+	res.Stats.Exact = false
+	res.Stats.Notes = append(res.Stats.Notes, sres.Notes...)
+	res.Stats.Notes = append(res.Stats.Notes, fmt.Sprintf(
+		"sketch-refine: %d partitions (τ bound), %d active, %d refined, %d repaired; objective gap unproven",
+		sres.Partitions, sres.Active, sres.Refined, sres.Repaired))
+	if !sres.Feasible {
+		res.Stats.Notes = append(res.Stats.Notes,
+			"sketch-refine found no feasible package (the query may still be feasible; try -strategy solver)")
+		return nil, nil
+	}
+	if fetch > 1 {
+		res.Stats.Notes = append(res.Stats.Notes,
+			"sketch-refine returns a single package; use the solver for top-k or diverse sets")
+	}
+	return [][]int{sres.Mult}, nil
 }
 
 func (p *Prepared) runSolver(res *Result, opts Options, fetch int) ([][]int, error) {

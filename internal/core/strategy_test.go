@@ -69,3 +69,112 @@ func TestTimeoutIsRespected(t *testing.T) {
 		t.Error("budget-starved brute force must not claim exactness")
 	}
 }
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]Strategy{
+		"":              Auto,
+		"auto":          Auto,
+		"solver":        Solver,
+		"milp":          Solver,
+		"sketch":        SketchRefineStrategy,
+		"Sketch-Refine": SketchRefineStrategy,
+		"pruned":        PrunedEnum,
+		"local-search":  LocalSearchStrategy,
+		"brute":         BruteForceStrategy,
+	}
+	for name, want := range cases {
+		got, err := ParseStrategy(name)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseStrategy("quantum"); err == nil {
+		t.Error("ParseStrategy should reject unknown names")
+	}
+}
+
+func TestSketchStrategyThroughEngine(t *testing.T) {
+	db := minidb.New()
+	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: 300, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT PACKAGE(R) AS P FROM recipes R
+	      SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500
+	      MAXIMIZE SUM(P.protein)`
+	res, err := Evaluate(db, q, Options{Strategy: SketchRefineStrategy, Seed: 1, SketchPartitionSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Strategy != SketchRefineStrategy {
+		t.Fatalf("strategy = %v", res.Stats.Strategy)
+	}
+	if res.Stats.Partitions == 0 {
+		t.Error("stats should report the partition count")
+	}
+	if len(res.Packages) != 1 {
+		t.Fatalf("got %d packages", len(res.Packages))
+	}
+	exact, err := Evaluate(db, q, Options{Strategy: Solver, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := exact.Packages[0].Objective
+	got := res.Packages[0].Objective
+	if got > opt+1e-6 {
+		t.Fatalf("sketch objective %.3f beats proven optimum %.3f", got, opt)
+	}
+	if gap := (opt - got) / opt; gap > 0.25 {
+		t.Errorf("objective gap %.1f%% > 25%%", gap*100)
+	}
+}
+
+func TestAutoSelectsSketchAboveThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a >4096-tuple relation")
+	}
+	db := minidb.New()
+	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: sketchAutoThreshold + 500, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT PACKAGE(R) AS P FROM recipes R
+	      SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500
+	      MAXIMIZE SUM(P.protein)`
+	res, err := Evaluate(db, q, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Strategy != SketchRefineStrategy {
+		t.Fatalf("auto chose %v for %d candidates", res.Stats.Strategy, res.Stats.Candidates)
+	}
+	if len(res.Packages) == 0 {
+		t.Fatal("no package returned")
+	}
+	// Require pins force the solver: sketch cannot honor them.
+	pinned, err := Evaluate(db, q, Options{Seed: 1, Strategy: SketchRefineStrategy, Require: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Stats.Strategy != Solver {
+		t.Errorf("Require should fall back to the solver, got %v", pinned.Stats.Strategy)
+	}
+}
+
+func TestSketchRequestedForNonPureFallsBack(t *testing.T) {
+	db := minidb.New()
+	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: 60, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(db, `
+		SELECT PACKAGE(R) AS P FROM recipes R
+		SUCH THAT COUNT(*) = 3 AND AVG(P.calories) <= 900
+		MAXIMIZE SUM(P.protein)`, Options{Strategy: SketchRefineStrategy, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Strategy != Solver {
+		t.Fatalf("AVG query should fall back to the solver, got %v", res.Stats.Strategy)
+	}
+	if len(res.Packages) == 0 {
+		t.Fatal("fallback returned no package")
+	}
+}

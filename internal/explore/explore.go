@@ -25,7 +25,12 @@ type Session struct {
 	current *core.Package
 	pinned  map[int]bool // candidate indexes
 	history []*core.Package
+	stats   *core.Stats // last evaluation's statistics
 }
+
+// Stats returns the statistics of the most recent Refresh or Replace
+// evaluation (nil before the first one).
+func (s *Session) Stats() *core.Stats { return s.stats }
 
 // NewSession prepares a query for exploration.
 func NewSession(db *minidb.DB, queryText string, opts core.Options) (*Session, error) {
@@ -67,6 +72,7 @@ func (s *Session) Refresh() (*core.Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.stats = &res.Stats
 	if len(res.Packages) == 0 {
 		return nil, fmt.Errorf("explore: no package satisfies the query%s",
 			pinSuffix(len(opts.Require)))
@@ -117,6 +123,7 @@ func (s *Session) Replace() (*core.Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.stats = &res.Stats
 	seen := map[string]bool{}
 	for _, h := range s.history {
 		seen[multKey(h.Mult)] = true

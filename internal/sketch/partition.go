@@ -1,0 +1,248 @@
+package sketch
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/schema"
+	"repro/internal/search"
+	"repro/internal/value"
+)
+
+// Partitioning is the offline output of the partitioner: the candidate
+// tuples split into size-bounded groups over the query's numeric
+// attributes, plus one representative tuple per group.
+type Partitioning struct {
+	Attrs  []int        // column ordinals the splitter used
+	Groups [][]int      // candidate indexes per partition, each sorted
+	Reps   []schema.Row // one representative tuple per partition
+	Tau    int          // effective partition size bound
+}
+
+// effectiveTau resolves the partition size bound from the options: an
+// explicit size wins, a partition-count target divides the input, and
+// the default covers the rest.
+func effectiveTau(n int, opts Options) int {
+	tau := opts.MaxPartitionSize
+	if opts.NumPartitions > 0 {
+		byCount := (n + opts.NumPartitions - 1) / opts.NumPartitions
+		if tau <= 0 || byCount < tau {
+			tau = byCount
+		}
+	}
+	if tau <= 0 {
+		tau = DefaultPartitionSize
+	}
+	return tau
+}
+
+// Partition splits the instance's candidates into groups of at most τ
+// tuples by recursive median splits on the query's numeric attributes
+// (the attribute with the widest normalized spread is split first), and
+// builds a representative tuple per group: the mean for numeric
+// columns, the mode for categorical ones. The procedure is
+// deterministic under a fixed seed.
+func Partition(inst *search.Instance, opts Options) *Partitioning {
+	n := len(inst.Rows)
+	part := &Partitioning{Attrs: partitionAttrs(inst), Tau: effectiveTau(n, opts)}
+	if n == 0 {
+		return part
+	}
+	// The seed only shuffles the attribute ordering used for tie-breaks,
+	// so equal-spread attributes split in a seed-dependent but
+	// reproducible order.
+	attrs := append([]int(nil), part.Attrs...)
+	rand.New(rand.NewSource(opts.Seed)).Shuffle(len(attrs), func(i, j int) {
+		attrs[i], attrs[j] = attrs[j], attrs[i]
+	})
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	var split func(g []int)
+	split = func(g []int) {
+		if len(g) <= part.Tau {
+			gg := append([]int(nil), g...)
+			sort.Ints(gg)
+			part.Groups = append(part.Groups, gg)
+			return
+		}
+		a := widestAttr(inst.Rows, g, attrs)
+		if a < 0 {
+			// No attribute separates the group (all values equal):
+			// chop it by index.
+			for s := 0; s < len(g); s += part.Tau {
+				e := min(s+part.Tau, len(g))
+				split(g[s:e])
+			}
+			return
+		}
+		sort.SliceStable(g, func(i, j int) bool {
+			vi, vj := numAt(inst.Rows[g[i]], a), numAt(inst.Rows[g[j]], a)
+			if vi != vj {
+				return vi < vj
+			}
+			return g[i] < g[j]
+		})
+		mid := len(g) / 2
+		split(g[:mid])
+		split(g[mid:])
+	}
+	split(all)
+	for _, g := range part.Groups {
+		part.Reps = append(part.Reps, representative(inst.Rows, g))
+	}
+	return part
+}
+
+// partitionAttrs collects the numeric columns referenced by the query's
+// aggregates (arguments and filters); when none are found it falls back
+// to every numeric column.
+func partitionAttrs(inst *search.Instance) []int {
+	cols := map[int]bool{}
+	collect := func(e expr.Expr) {
+		if e == nil {
+			return
+		}
+		expr.Walk(e, func(n expr.Expr) {
+			if c, ok := n.(*expr.Col); ok && c.Idx >= 0 {
+				cols[c.Idx] = true
+			}
+		})
+	}
+	for _, a := range inst.Analysis.Aggs {
+		collect(a.Arg)
+		collect(a.Filter)
+	}
+	var attrs []int
+	for idx := range cols {
+		if numericCol(inst.Rows, idx) {
+			attrs = append(attrs, idx)
+		}
+	}
+	if len(attrs) == 0 && len(inst.Rows) > 0 {
+		for idx := range inst.Rows[0] {
+			if numericCol(inst.Rows, idx) {
+				attrs = append(attrs, idx)
+			}
+		}
+	}
+	sort.Ints(attrs)
+	return attrs
+}
+
+// numericCol samples the column and reports whether it is numeric (at
+// least one non-null value, and every sampled non-null value numeric).
+func numericCol(rows []schema.Row, idx int) bool {
+	seen := false
+	for i, row := range rows {
+		if i >= 64 {
+			break
+		}
+		if idx >= len(row) || row[idx].IsNull() {
+			continue
+		}
+		if !row[idx].IsNumeric() {
+			return false
+		}
+		seen = true
+	}
+	return seen
+}
+
+// numAt reads a numeric cell, mapping NULL/non-numeric to 0 so sorts
+// stay total.
+func numAt(row schema.Row, idx int) float64 {
+	if idx >= len(row) {
+		return 0
+	}
+	f, ok := row[idx].AsFloat()
+	if !ok {
+		return 0
+	}
+	return f
+}
+
+// widestAttr picks the attribute with the largest normalized spread
+// within the group; -1 when every attribute is constant.
+func widestAttr(rows []schema.Row, g []int, attrs []int) int {
+	best, bestSpread := -1, 0.0
+	for _, a := range attrs {
+		lo, hi := numAt(rows[g[0]], a), numAt(rows[g[0]], a)
+		for _, i := range g[1:] {
+			v := numAt(rows[i], a)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		scale := 1 + abs(lo) + abs(hi)
+		if spread := (hi - lo) / scale; spread > bestSpread {
+			bestSpread, best = spread, a
+		}
+	}
+	return best
+}
+
+// representative builds a group's representative tuple: numeric columns
+// take the group mean, other columns the group mode (ties break toward
+// the smallest value, keeping the construction deterministic).
+func representative(rows []schema.Row, g []int) schema.Row {
+	width := len(rows[g[0]])
+	rep := make(schema.Row, width)
+	for c := 0; c < width; c++ {
+		sum, cnt := 0.0, 0
+		numeric := true
+		for _, i := range g {
+			v := rows[i][c]
+			if v.IsNull() {
+				continue
+			}
+			f, ok := v.AsFloat()
+			if !ok {
+				numeric = false
+				break
+			}
+			sum += f
+			cnt++
+		}
+		if numeric && cnt > 0 {
+			rep[c] = value.Float(sum / float64(cnt))
+			continue
+		}
+		rep[c] = modeValue(rows, g, c)
+	}
+	return rep
+}
+
+// modeValue returns the most frequent value in the column across the
+// group, preferring the SortLess-smallest on ties.
+func modeValue(rows []schema.Row, g []int, c int) value.V {
+	counts := map[string]int{}
+	byKey := map[string]value.V{}
+	for _, i := range g {
+		v := rows[i][c]
+		k := v.String()
+		counts[k]++
+		byKey[k] = v
+	}
+	var best value.V
+	bestN := -1
+	for k, n := range counts {
+		v := byKey[k]
+		if n > bestN || (n == bestN && v.SortLess(best)) {
+			best, bestN = v, n
+		}
+	}
+	return best
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

@@ -1,0 +1,267 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/milp"
+	"repro/internal/search"
+	"repro/internal/translate"
+)
+
+// maxSweeps bounds the re-refinement passes after the first refine:
+// each extra sweep re-solves every active partition against the real
+// (no longer representative) contributions of the others, a coordinate
+// descent that repairs cross-partition approximation error.
+const maxSweeps = 3
+
+// refine replaces each sketch-chosen representative with real tuples
+// from its partition. Partitions are processed greedily (largest sketch
+// multiplicity first); each gets a sub-MILP over its own tuples whose
+// constraint right-hand sides are the query atoms minus every other
+// partition's current contribution. Infeasible or over-budget
+// sub-problems fall back to a greedy repair that picks the tuples
+// nearest the representative. The final package is validated against
+// the full formula, with up to maxSweeps coordinate-descent passes to
+// absorb representative error.
+func refine(inst *search.Instance, part *Partitioning, repAtoms []*translate.LinearAtom, y []int, opts Options, deadline time.Time, res *Result) {
+	atoms := inst.Atoms
+	n := len(inst.Rows)
+	mult := make([]int, n)
+
+	// grpSum[g][k]: partition g's current contribution to atom k —
+	// representative-based until g is refined, real afterwards.
+	grpSum := make([][]float64, len(part.Groups))
+	cur := make([]float64, len(atoms))
+	for g := range part.Groups {
+		grpSum[g] = make([]float64, len(atoms))
+		if y[g] == 0 {
+			continue
+		}
+		for k := range atoms {
+			grpSum[g][k] = repAtoms[k].W[g] * float64(y[g])
+			cur[k] += grpSum[g][k]
+		}
+	}
+
+	var active []int
+	for g, m := range y {
+		if m > 0 {
+			active = append(active, g)
+		}
+	}
+	sort.SliceStable(active, func(i, j int) bool {
+		if y[active[i]] != y[active[j]] {
+			return y[active[i]] > y[active[j]]
+		}
+		return active[i] < active[j]
+	})
+	res.Active = len(active)
+
+	scales := attrScales(inst, part.Attrs)
+	refineGroup := func(g int, sweep int) {
+		residual := make([]float64, len(atoms))
+		for k := range atoms {
+			residual[k] = atoms[k].RHS - (cur[k] - grpSum[g][k])
+		}
+		ok := subSolve(inst, part, g, residual, mult, opts, deadline, res)
+		if ok {
+			if sweep == 0 {
+				res.Refined++
+			}
+		} else {
+			greedyRepair(inst, part, g, y[g], mult, scales)
+			if sweep == 0 {
+				res.Repaired++
+			}
+		}
+		// Swap g's contribution from representative to real tuples.
+		for k := range atoms {
+			s := 0.0
+			for _, i := range part.Groups[g] {
+				if mult[i] != 0 {
+					s += atoms[k].W[i] * float64(mult[i])
+				}
+			}
+			cur[k] += s - grpSum[g][k]
+			grpSum[g][k] = s
+		}
+	}
+
+	valid := false
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		for _, g := range active {
+			refineGroup(g, sweep)
+		}
+		if valid = checkAtoms(atoms, cur); valid {
+			break
+		}
+		if sweep == 0 {
+			res.Notes = append(res.Notes, "refined package violates a constraint; running repair sweeps")
+		}
+	}
+
+	res.Mult = mult
+	if obj, err := inst.Objective(mult); err == nil {
+		res.Objective = obj
+	}
+	if valid {
+		// Atoms are exactly the formula (Applicable requires Pure), but
+		// validate end to end anyway; a disagreement is a bug upstream.
+		full, err := inst.Validate(mult)
+		valid = err == nil && full
+		if !valid {
+			res.Notes = append(res.Notes, "internal: atom check and full validation disagree")
+		}
+	}
+	res.Feasible = valid
+	if !valid {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("refine could not reach a feasible package within %d sweeps", maxSweeps))
+	}
+}
+
+// subSolve runs the per-partition MILP: variables are the partition's
+// tuple multiplicities, constraints the query atoms with residual
+// right-hand sides, objective the query's affine objective restricted
+// to the partition. Atoms the partition cannot influence (all-zero
+// weights) are skipped: their violation, if any, is another partition's
+// to repair. Returns false when the sub-MILP is infeasible, hits its
+// limits without an incumbent, or the budget is spent.
+func subSolve(inst *search.Instance, part *Partitioning, g int, residual []float64, mult []int, opts Options, deadline time.Time, res *Result) bool {
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		return false
+	}
+	members := part.Groups[g]
+	m := len(members)
+	p := lp.NewProblem(m)
+	for j := 0; j < m; j++ {
+		up := lp.Inf
+		if inst.MaxMult > 0 {
+			up = float64(inst.MaxMult)
+		}
+		if err := p.SetBounds(j, 0, up); err != nil {
+			return false
+		}
+	}
+	if inst.ObjW != nil {
+		obj := make([]float64, m)
+		for j, i := range members {
+			obj[j] = inst.ObjW[i]
+		}
+		if err := p.SetObjective(obj, objSense(inst)); err != nil {
+			return false
+		}
+	}
+	for k, at := range inst.Atoms {
+		var coefs []lp.Coef
+		for j, i := range members {
+			if at.W[i] != 0 {
+				coefs = append(coefs, lp.Coef{Var: j, Val: at.W[i]})
+			}
+		}
+		if len(coefs) == 0 {
+			continue
+		}
+		if _, err := p.AddConstraint(coefs, at.Op, residual[k]); err != nil {
+			return false
+		}
+	}
+	mp := milp.NewProblem(p)
+	for j := 0; j < m; j++ {
+		mp.SetInteger(j)
+	}
+	sol := milp.Solve(mp, milp.Options{MaxNodes: opts.nodes(), TimeLimit: timeShare(deadline, 4)})
+	res.Nodes += int64(sol.Nodes)
+	res.LPIters += sol.LPIters
+	if sol.X == nil || (sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible) {
+		return false
+	}
+	for j, i := range members {
+		mult[i] = int(math.Round(sol.X[j]))
+	}
+	return true
+}
+
+// greedyRepair approximates the representative's contribution with real
+// tuples when the sub-MILP fails: the units partitions owe (the sketch
+// multiplicity) are assigned round-robin to the partition's tuples
+// nearest the representative in normalized attribute space.
+func greedyRepair(inst *search.Instance, part *Partitioning, g, units int, mult []int, scales []float64) {
+	members := part.Groups[g]
+	for _, i := range members {
+		mult[i] = 0
+	}
+	if units <= 0 {
+		return
+	}
+	rep := part.Reps[g]
+	order := append([]int(nil), members...)
+	dist := func(i int) float64 {
+		d := 0.0
+		for ai, a := range part.Attrs {
+			diff := (numAt(inst.Rows[i], a) - numAt(rep, a)) / scales[ai]
+			d += diff * diff
+		}
+		return d
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := dist(order[a]), dist(order[b])
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	cap := inst.MaxMult
+	if cap <= 0 {
+		cap = units
+	}
+	placed := 0
+	for placed < units {
+		progressed := false
+		for _, i := range order {
+			if placed >= units {
+				break
+			}
+			if mult[i] < cap {
+				mult[i]++
+				placed++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break // partition capacity exhausted
+		}
+	}
+}
+
+// attrScales normalizes each partition attribute by its spread across
+// all candidates (1 for constant columns).
+func attrScales(inst *search.Instance, attrs []int) []float64 {
+	scales := make([]float64, len(attrs))
+	for ai, a := range attrs {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, row := range inst.Rows {
+			v := numAt(row, a)
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		scales[ai] = 1
+		if hi > lo {
+			scales[ai] = hi - lo
+		}
+	}
+	return scales
+}
+
+// checkAtoms verifies every atom against the tracked sums.
+func checkAtoms(atoms []*translate.LinearAtom, sums []float64) bool {
+	for k, at := range atoms {
+		if !at.CheckSum(sums[k]) {
+			return false
+		}
+	}
+	return true
+}

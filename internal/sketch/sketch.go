@@ -1,0 +1,228 @@
+// Package sketch implements SketchRefine, the partition-based
+// evaluation strategy from the paper's follow-up work ("Scalable
+// Package Queries in Relational Database Systems", PVLDB 2016): instead
+// of handing the solver one MILP with a variable per candidate tuple,
+// the relation is partitioned offline into size-bounded groups over the
+// query's numeric attributes, a small "sketch" package is solved over
+// one representative tuple per group, and the sketch is then refined
+// partition by partition, swapping each chosen representative for real
+// tuples via a tiny per-partition MILP. One huge solve becomes many
+// small ones, trading a bounded objective gap for orders-of-magnitude
+// lower latency at scale.
+//
+// The strategy applies to linear queries whose SUCH THAT clause is a
+// pure conjunction of SUM/COUNT comparison atoms and whose objective is
+// affine (sketch.Applicable reports the precise obstruction otherwise).
+// When a partition's sub-MILP is infeasible or the time budget runs
+// out, a greedy repair pass substitutes the real tuples nearest the
+// representative; a final validation plus bounded re-refinement sweeps
+// keep the result honest — Result.Feasible is true only for packages
+// that satisfy the full SUCH THAT formula.
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/milp"
+	"repro/internal/paql"
+	"repro/internal/search"
+	"repro/internal/translate"
+)
+
+// DefaultPartitionSize is the partition size bound τ when the caller
+// sets neither MaxPartitionSize nor NumPartitions.
+const DefaultPartitionSize = 64
+
+// Options tunes a SketchRefine evaluation.
+type Options struct {
+	// MaxPartitionSize bounds each partition (τ); 0 = default (64).
+	MaxPartitionSize int
+	// NumPartitions targets a partition count instead; the tighter of
+	// the two bounds wins. 0 = derive from MaxPartitionSize.
+	NumPartitions int
+	// Seed drives partitioning tie-breaks (deterministic per seed).
+	Seed int64
+	// Timeout bounds the whole evaluation; refine falls back to greedy
+	// repair once it expires.
+	Timeout time.Duration
+	// SolverNodes caps branch-and-bound nodes per sub-MILP (0 = default).
+	SolverNodes int
+}
+
+func (o Options) nodes() int {
+	if o.SolverNodes > 0 {
+		return o.SolverNodes
+	}
+	return 50000
+}
+
+// Result is a SketchRefine outcome.
+type Result struct {
+	Mult       []int   // multiplicity per candidate
+	Objective  float64 // objective of Mult (0 when the query has none)
+	Feasible   bool    // Mult satisfies the full SUCH THAT formula
+	Partitions int     // partitions produced by the offline step
+	Active     int     // partitions the sketch solution touched
+	Refined    int     // partitions refined via their sub-MILP
+	Repaired   int     // partitions that fell back to greedy repair
+	Nodes      int64   // branch-and-bound nodes across all solves
+	LPIters    int     // simplex iterations across all solves
+	Notes      []string
+	Elapsed    time.Duration
+}
+
+// Applicable reports whether the instance can be evaluated with
+// SketchRefine; the error names the obstruction.
+func Applicable(inst *search.Instance) error {
+	if !inst.Analysis.Linear {
+		return fmt.Errorf("sketch: query is not linear: %v", inst.Analysis.NonlinearReasons)
+	}
+	if !inst.Pure {
+		return fmt.Errorf("sketch: SUCH THAT is not a pure conjunction of SUM/COUNT atoms (disjunctions and AVG/MIN/MAX need the full solver)")
+	}
+	if inst.Analysis.Query.Objective != nil && inst.ObjW == nil {
+		return fmt.Errorf("sketch: objective is not affine")
+	}
+	return nil
+}
+
+// Solve runs SketchRefine: partition, sketch over representatives,
+// refine per partition. When the sketch MILP over representatives is
+// infeasible the partitioning is retried at a quarter of the size bound
+// (finer partitions make representatives more faithful) before giving
+// up.
+func Solve(inst *search.Instance, opts Options) (*Result, error) {
+	start := time.Now()
+	if err := Applicable(inst); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	defer func() { res.Elapsed = time.Since(start) }()
+	n := len(inst.Rows)
+	if n == 0 {
+		res.Mult = []int{}
+		res.Feasible = inst.CheckAtoms(res.Mult) && inst.Bounds.Lo <= 0
+		return res, nil
+	}
+	deadline := time.Time{}
+	if opts.Timeout > 0 {
+		deadline = start.Add(opts.Timeout)
+	}
+	tau := effectiveTau(n, opts)
+	for attempt := 0; ; attempt++ {
+		o := opts
+		o.MaxPartitionSize, o.NumPartitions = tau, 0
+		part := Partition(inst, o)
+		res.Partitions = len(part.Groups)
+		y, repAtoms, infeasible, err := sketchSolve(inst, part, opts, deadline, res)
+		if err != nil {
+			return nil, err
+		}
+		if infeasible {
+			if attempt == 0 && tau > 1 {
+				tau = max(1, tau/4)
+				res.Notes = append(res.Notes,
+					fmt.Sprintf("sketch over representatives infeasible; retrying with partition size %d", tau))
+				continue
+			}
+			res.Notes = append(res.Notes, "sketch over representatives is infeasible; the query may have no package")
+			return res, nil
+		}
+		if y == nil {
+			res.Notes = append(res.Notes, "sketch solver hit its limits without an incumbent")
+			return res, nil
+		}
+		refine(inst, part, repAtoms, y, opts, deadline, res)
+		return res, nil
+	}
+}
+
+// sketchSolve builds and solves the sketch MILP: one integer variable
+// per partition (the representative's multiplicity, capped at partition
+// capacity), the query's linear atoms re-weighted over representatives,
+// and the affine objective likewise.
+func sketchSolve(inst *search.Instance, part *Partitioning, opts Options, deadline time.Time, res *Result) (y []int, repAtoms []*translate.LinearAtom, infeasible bool, err error) {
+	repAtoms, _, err = translate.ConjunctiveAtoms(inst.Analysis, part.Reps)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if len(repAtoms) != len(inst.Atoms) {
+		return nil, nil, false, fmt.Errorf("sketch: internal error: %d representative atoms for %d instance atoms", len(repAtoms), len(inst.Atoms))
+	}
+	repW, _, err := translate.ObjectiveWeights(inst.Analysis, part.Reps)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	G := len(part.Groups)
+	p := lp.NewProblem(G)
+	for g := 0; g < G; g++ {
+		up := lp.Inf
+		if inst.MaxMult > 0 {
+			up = float64(len(part.Groups[g]) * inst.MaxMult)
+		}
+		if err := p.SetBounds(g, 0, up); err != nil {
+			return nil, nil, false, err
+		}
+	}
+	if err := p.SetObjective(repW, objSense(inst)); err != nil {
+		return nil, nil, false, err
+	}
+	for _, at := range repAtoms {
+		var coefs []lp.Coef
+		for g, w := range at.W {
+			if w != 0 {
+				coefs = append(coefs, lp.Coef{Var: g, Val: w})
+			}
+		}
+		if _, err := p.AddConstraint(coefs, at.Op, at.RHS); err != nil {
+			return nil, nil, false, err
+		}
+	}
+	mp := milp.NewProblem(p)
+	for g := 0; g < G; g++ {
+		mp.SetInteger(g)
+	}
+	sol := milp.Solve(mp, milp.Options{MaxNodes: opts.nodes(), TimeLimit: timeShare(deadline, 2)})
+	res.Nodes += int64(sol.Nodes)
+	res.LPIters += sol.LPIters
+	switch sol.Status {
+	case milp.StatusInfeasible:
+		return nil, nil, true, nil
+	case milp.StatusUnbounded:
+		return nil, nil, false, fmt.Errorf("sketch: objective is unbounded over representatives (add constraints or REPEAT)")
+	}
+	if sol.X == nil {
+		return nil, nil, false, nil
+	}
+	y = make([]int, G)
+	for g := 0; g < G; g++ {
+		y[g] = int(math.Round(sol.X[g]))
+	}
+	return y, repAtoms, false, nil
+}
+
+// objSense maps the query objective to an LP sense (minimize-zero for
+// objective-free queries).
+func objSense(inst *search.Instance) lp.Sense {
+	if o := inst.Analysis.Query.Objective; o != nil && o.Sense == paql.Maximize {
+		return lp.Maximize
+	}
+	return lp.Minimize
+}
+
+// timeShare splits the remaining budget into parts (0 = no limit).
+func timeShare(deadline time.Time, parts int) time.Duration {
+	if deadline.IsZero() {
+		return 0
+	}
+	left := time.Until(deadline)
+	if left <= 0 {
+		// The budget is spent; hand solves a token slice so they bail
+		// out quickly rather than running unbounded.
+		return time.Millisecond
+	}
+	return left / time.Duration(max(parts, 1))
+}

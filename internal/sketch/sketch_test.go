@@ -1,0 +1,202 @@
+package sketch_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/minidb"
+	"repro/internal/sketch"
+)
+
+const mealQuery = `
+	SELECT PACKAGE(R) AS P
+	FROM recipes R
+	WHERE R.gluten = 'free'
+	SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500
+	MAXIMIZE SUM(P.protein)`
+
+func recipesPrep(t *testing.T, n int) *core.Prepared {
+	t.Helper()
+	db := minidb.New()
+	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: n, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	prep, err := core.Prepare(db, mealQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prep
+}
+
+func TestPartitionSizeBoundAndCover(t *testing.T) {
+	prep := recipesPrep(t, 300)
+	inst := prep.Instance
+	part := sketch.Partition(inst, sketch.Options{MaxPartitionSize: 16, Seed: 7})
+	if part.Tau != 16 {
+		t.Fatalf("tau = %d", part.Tau)
+	}
+	seen := map[int]bool{}
+	for _, g := range part.Groups {
+		if len(g) == 0 || len(g) > 16 {
+			t.Fatalf("group size %d outside (0, 16]", len(g))
+		}
+		for _, i := range g {
+			if seen[i] {
+				t.Fatalf("candidate %d in two partitions", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != len(inst.Rows) {
+		t.Fatalf("partitions cover %d of %d candidates", len(seen), len(inst.Rows))
+	}
+	if len(part.Reps) != len(part.Groups) {
+		t.Fatalf("%d reps for %d groups", len(part.Reps), len(part.Groups))
+	}
+	if len(part.Attrs) == 0 {
+		t.Fatal("no partition attributes chosen")
+	}
+}
+
+func TestPartitionDeterministicUnderSeed(t *testing.T) {
+	prep := recipesPrep(t, 250)
+	a := sketch.Partition(prep.Instance, sketch.Options{MaxPartitionSize: 10, Seed: 99})
+	b := sketch.Partition(prep.Instance, sketch.Options{MaxPartitionSize: 10, Seed: 99})
+	if !reflect.DeepEqual(a.Groups, b.Groups) {
+		t.Fatal("same seed produced different partitionings")
+	}
+	if !reflect.DeepEqual(a.Reps, b.Reps) {
+		t.Fatal("same seed produced different representatives")
+	}
+}
+
+func TestPartitionCountKnob(t *testing.T) {
+	prep := recipesPrep(t, 200)
+	part := sketch.Partition(prep.Instance, sketch.Options{NumPartitions: 8, Seed: 1})
+	n := len(prep.Instance.Rows)
+	want := (n + 7) / 8
+	if part.Tau != want {
+		t.Fatalf("tau = %d, want %d (n=%d)", part.Tau, want, n)
+	}
+	if len(part.Groups) < 8 {
+		t.Fatalf("got %d partitions, want >= 8", len(part.Groups))
+	}
+}
+
+func TestSketchVsExactSmall(t *testing.T) {
+	for _, n := range []int{120, 400} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			prep := recipesPrep(t, n)
+			exact, err := prep.Run(core.Options{Strategy: core.Solver, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			skres, err := sketch.Solve(prep.Instance, sketch.Options{MaxPartitionSize: 16, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(exact.Packages) == 0 {
+				if skres.Feasible {
+					t.Fatal("sketch found a package where the exact solver proved none")
+				}
+				return
+			}
+			if !skres.Feasible {
+				t.Fatalf("exact solver found a package but sketch did not: %v", skres.Notes)
+			}
+			opt := exact.Packages[0].Objective
+			if skres.Objective > opt+1e-6 {
+				t.Fatalf("sketch objective %.3f beats proven optimum %.3f", skres.Objective, opt)
+			}
+			if gap := (opt - skres.Objective) / opt; gap > 0.25 {
+				t.Fatalf("objective gap %.1f%% > 25%% (sketch %.1f vs exact %.1f)",
+					gap*100, skres.Objective, opt)
+			}
+		})
+	}
+}
+
+// TestRefineFallbackInfeasiblePartition forces a partition whose
+// sub-MILP is infeasible: with τ=2 the values {1,2} and {2,3} land in
+// separate partitions whose representatives average to 1.5 and 2.5, the
+// sketch picks one unit of each (1.5+2.5 = 4), and the first refined
+// partition is asked for a single tuple summing to exactly 1.5 — which
+// no integer-valued member can satisfy. Greedy repair plus the
+// coordinate-descent sweep must still land on a feasible package.
+func TestRefineFallbackInfeasiblePartition(t *testing.T) {
+	db := minidb.New()
+	stmts := []string{
+		"CREATE TABLE t (x INT)",
+		"INSERT INTO t VALUES (1)",
+		"INSERT INTO t VALUES (2)",
+		"INSERT INTO t VALUES (2)",
+		"INSERT INTO t VALUES (3)",
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prep, err := core.Prepare(db, `SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) = 2 AND SUM(P.x) = 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sketch.Solve(prep.Instance, sketch.Options{MaxPartitionSize: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repaired == 0 {
+		t.Fatalf("expected at least one greedy-repaired partition, got refine stats %+v", res)
+	}
+	if !res.Feasible {
+		t.Fatalf("repair sweeps did not reach a feasible package: %+v", res)
+	}
+	sum, count := 0, 0
+	for i, m := range res.Mult {
+		sum += m * int(prep.Instance.Rows[i][0].IntVal())
+		count += m
+	}
+	if count != 2 || sum != 4 {
+		t.Fatalf("package has count=%d sum=%d, want 2 and 4", count, sum)
+	}
+}
+
+func TestApplicableRejectsNonPure(t *testing.T) {
+	db := minidb.New()
+	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: 50, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	prep, err := core.Prepare(db, `
+		SELECT PACKAGE(R) AS P FROM recipes R
+		SUCH THAT COUNT(*) = 3 AND AVG(P.calories) <= 800`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sketch.Applicable(prep.Instance); err == nil {
+		t.Fatal("AVG atom should not be sketch-applicable")
+	}
+	if _, err := sketch.Solve(prep.Instance, sketch.Options{}); err == nil {
+		t.Fatal("Solve should refuse a non-applicable instance")
+	}
+}
+
+func TestSketchTrivialEmptyCandidates(t *testing.T) {
+	db := minidb.New()
+	if _, err := db.Exec("CREATE TABLE t (x INT)"); err != nil {
+		t.Fatal(err)
+	}
+	prep, err := core.Prepare(db, `SELECT PACKAGE(T) AS P FROM t T SUCH THAT SUM(P.x) <= 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sketch.Solve(prep.Instance, sketch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || len(res.Mult) != 0 {
+		t.Fatalf("empty relation should yield the empty package, got %+v", res)
+	}
+}

@@ -20,8 +20,20 @@
 // (internal/lp, internal/milp), the PaQL front-end (internal/paql), the
 // PaQL→MILP translation (internal/translate), the search-based
 // evaluation strategies with §4.1 cardinality pruning and the §4.2
-// SQL-driven local search (internal/search), and the §3 interface
-// abstractions (internal/explore, internal/viz, internal/template).
+// SQL-driven local search (internal/search), the partition-based
+// SketchRefine strategy from the paper's follow-up work
+// (internal/sketch), and the §3 interface abstractions
+// (internal/explore, internal/viz, internal/template).
+//
+// At scale, SketchRefine (PVLDB 2016, "Scalable Package Queries in
+// Relational Database Systems") replaces the one-MILP-per-query model:
+// candidates are partitioned offline into size-bounded groups over the
+// query's numeric attributes, a small sketch package is solved over one
+// representative tuple per group, and the sketch is refined partition
+// by partition with tiny sub-MILPs (greedy repair when a partition is
+// infeasible or over budget). Select it with WithStrategy(SketchRefine)
+// or let Auto choose it above a few thousand candidates; tune it with
+// WithSketchPartitionSize / WithSketchPartitions.
 //
 // Typical use:
 //
@@ -80,12 +92,17 @@ type Strategy = core.Strategy
 
 // Evaluation strategies.
 const (
-	Auto        = core.Auto
-	BruteForce  = core.BruteForceStrategy
-	PrunedEnum  = core.PrunedEnum
-	LocalSearch = core.LocalSearchStrategy
-	Solver      = core.Solver
+	Auto         = core.Auto
+	BruteForce   = core.BruteForceStrategy
+	PrunedEnum   = core.PrunedEnum
+	LocalSearch  = core.LocalSearchStrategy
+	Solver       = core.Solver
+	SketchRefine = core.SketchRefineStrategy
 )
+
+// ParseStrategy resolves a strategy name ("auto", "solver",
+// "sketch-refine", ...) to its Strategy value.
+func ParseStrategy(name string) (Strategy, error) { return core.ParseStrategy(name) }
 
 // Result is a query evaluation outcome. Re-exported from core.
 type Result = core.Result
@@ -116,6 +133,17 @@ func WithRestarts(n int) Option { return func(o *core.Options) { o.Restarts = n 
 
 // WithRequire pins candidate indexes into every package.
 func WithRequire(idx ...int) Option { return func(o *core.Options) { o.Require = idx } }
+
+// WithSketchPartitionSize bounds SketchRefine partitions at n tuples.
+func WithSketchPartitionSize(n int) Option {
+	return func(o *core.Options) { o.SketchPartitionSize = n }
+}
+
+// WithSketchPartitions targets a SketchRefine partition count instead
+// of a size bound; the tighter of the two wins.
+func WithSketchPartitions(n int) Option {
+	return func(o *core.Options) { o.SketchPartitions = n }
+}
 
 func buildOptions(opts []Option) core.Options {
 	var o core.Options
