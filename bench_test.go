@@ -264,6 +264,42 @@ func BenchmarkE8_SketchRefine(b *testing.B) {
 	}
 }
 
+// BenchmarkE9_HierarchicalSketch compares flat SketchRefine against the
+// depth-2 partition tree and against a warm cross-query partition
+// cache. cmd/pbench -exp e9 prints the matching table with the N=1M
+// point.
+func BenchmarkE9_HierarchicalSketch(b *testing.B) {
+	n := 20000
+	prep := benchPrep(b, n)
+	b.Run(fmt.Sprintf("flat/n=%d", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.Run(core.Options{Strategy: core.SketchRefineStrategy, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("hier-d2/n=%d", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.Run(core.Options{Strategy: core.SketchRefineStrategy, Seed: 1, SketchDepth: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("hier-d2-cached/n=%d", n), func(b *testing.B) {
+		cache := sketch.NewCache(0)
+		opts := core.Options{Strategy: core.SketchRefineStrategy, Seed: 1, SketchDepth: 2, SketchCache: cache}
+		if _, err := prep.Run(opts); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.Run(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSketchPartition isolates the offline partitioning step.
 func BenchmarkSketchPartition(b *testing.B) {
 	prep := benchPrep(b, 10000)

@@ -17,6 +17,7 @@
 //	     MAXIMIZE SUM(P.protein)"
 //	paql -gen recipes:1000:1 -strategy local-search -limit 3 -q "..."
 //	paql -gen recipes:100000:1 -strategy sketch -sketch-size 128 -q "..."
+//	paql -gen recipes:1000000:1 -strategy sketch -sketch-depth 2 -q "..."
 package main
 
 import (
@@ -48,6 +49,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "randomized strategy seed")
 	sketchSize := flag.Int("sketch-size", 0, "sketch-refine partition size bound (0 = default)")
 	sketchParts := flag.Int("sketch-partitions", 0, "sketch-refine partition count target (0 = off)")
+	sketchDepth := flag.Int("sketch-depth", 0, "sketch-refine partition-tree depth (0/1 = flat, >=2 hierarchical)")
+	sketchCache := flag.Bool("sketch-cache", true, "cache sketch-refine partition trees across REPL queries (one-shot runs never cache)")
 	flag.Parse()
 
 	sys := pb.New()
@@ -79,11 +82,15 @@ func main() {
 	cli := cliOpts{
 		strategy: *strategy, limit: *limit, diverse: *diverse, seed: *seed,
 		sketchSize: *sketchSize, sketchParts: *sketchParts,
+		sketchDepth: *sketchDepth, sketchCache: *sketchCache,
 	}
 	if text == "" {
 		repl(sys, cli)
 		return
 	}
+	// One-shot runs exit after a single query: fingerprinting and
+	// storing a partition tree would be pure overhead.
+	cli.sketchCache = false
 	runQuery(sys, text, cli)
 }
 
@@ -95,6 +102,8 @@ type cliOpts struct {
 	seed        int64
 	sketchSize  int
 	sketchParts int
+	sketchDepth int
+	sketchCache bool
 }
 
 func runQuery(sys *pb.System, text string, cli cliOpts) {
@@ -127,6 +136,10 @@ func buildOpts(cli cliOpts) ([]pb.Option, error) {
 	if cli.sketchParts > 0 {
 		opts = append(opts, pb.WithSketchPartitions(cli.sketchParts))
 	}
+	if cli.sketchDepth > 0 {
+		opts = append(opts, pb.WithSketchDepth(cli.sketchDepth))
+	}
+	opts = append(opts, pb.WithSketchCache(cli.sketchCache))
 	return opts, nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/explore"
 	"repro/internal/minidb"
+	"repro/internal/sketch"
 	"repro/internal/viz"
 )
 
@@ -35,11 +36,23 @@ const maxBodyBytes = 1 << 20
 // handlers that render it and for writing by handlers that swap or
 // mutate it. Query evaluation itself runs outside the lock, so
 // concurrent /api/query requests proceed in parallel.
+//
+// cache is the engine-level SketchRefine partition-tree cache, shared
+// across all requests: repeated sketch evaluations over the unchanged
+// demo data skip the offline partitioning step (the cache is its own
+// lock domain and safe for concurrent use).
 type server struct {
-	db *minidb.DB
+	db    *minidb.DB
+	cache *sketch.Cache
 
 	mu  sync.RWMutex
 	ses *explore.Session // one demo session, like the booth kiosk
+}
+
+// newServer builds a server over a loaded database with an empty
+// partition-tree cache.
+func newServer(db *minidb.DB) *server {
+	return &server{db: db, cache: sketch.NewCache(0)}
 }
 
 // session returns the current exploration session or an error when no
@@ -63,7 +76,7 @@ func main() {
 	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: *n, Seed: *seed}); err != nil {
 		log.Fatal(err)
 	}
-	s := &server{db: db}
+	s := newServer(db)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -125,6 +138,12 @@ func (s *server) packageJSON(ses *explore.Session, p *core.Package, stats *core.
 		out.Stats["elapsedMs"] = float64(stats.Elapsed.Microseconds()) / 1000
 		if stats.Partitions > 0 {
 			out.Stats["partitions"] = stats.Partitions
+			out.Stats["sketchLevels"] = stats.SketchLevels
+			out.Stats["sketchTopVars"] = stats.SketchTopVars
+			out.Stats["sketchCacheHit"] = stats.SketchCacheHit
+			cs := s.cache.Stats()
+			out.Stats["sketchCacheHits"] = cs.Hits
+			out.Stats["sketchCacheMisses"] = cs.Misses
 		}
 	}
 	return out
@@ -138,14 +157,15 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Query    string `json:"query"`
-		Strategy string `json:"strategy"` // "", "auto", "solver", "sketch-refine", ...
+		Query       string `json:"query"`
+		Strategy    string `json:"strategy"`    // "", "auto", "solver", "sketch-refine", ...
+		SketchDepth int    `json:"sketchDepth"` // 0/1 = flat, >=2 hierarchical
 	}
 	if err := decodeJSON(w, r, &req); err != nil {
 		httpErr(w, err)
 		return
 	}
-	opts := core.Options{Seed: 1}
+	opts := core.Options{Seed: 1, SketchCache: s.cache, SketchDepth: req.SketchDepth}
 	if req.Strategy != "" {
 		st, err := core.ParseStrategy(req.Strategy)
 		if err != nil {
@@ -245,7 +265,7 @@ func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	// prep.Run is a pure read over the prepared query and the database;
 	// it needs no lock, so summaries render concurrently too.
-	res, err := prep.Run(core.Options{Limit: 9, Seed: 1})
+	res, err := prep.Run(core.Options{Limit: 9, Seed: 1, SketchCache: s.cache})
 	if err != nil {
 		httpErr(w, err)
 		return
@@ -329,8 +349,14 @@ function render(p) {
   document.getElementById('pkg').innerHTML = h;
   let stats = '';
   if (p.stats && p.stats.strategy) {
-    stats = '\nstrategy: ' + p.stats.strategy +
-      (p.stats.partitions ? ' (' + p.stats.partitions + ' partitions)' : '') +
+    let sk = '';
+    if (p.stats.partitions) {
+      sk = ' (' + p.stats.partitions + ' partitions';
+      if (p.stats.sketchLevels > 1) sk += ', ' + p.stats.sketchLevels + ' levels';
+      if (p.stats.sketchCacheHit) sk += ', cached tree';
+      sk += ')';
+    }
+    stats = '\nstrategy: ' + p.stats.strategy + sk +
       '  candidates: ' + p.stats.candidates + '  ' + p.stats.elapsedMs + 'ms';
   }
   document.getElementById('aggs').textContent =

@@ -12,6 +12,7 @@
 //	E6  §2      REPEAT changes feasibility and cost
 //	E7  §5      diverse package results beat top-k on distance
 //	E8  follow-up  SketchRefine: partitioned MILP vs exact at scale
+//	E9  follow-up  hierarchical SketchRefine + cross-query partition cache
 //
 // Each Run* prints an aligned table to cfg.Out; EXPERIMENTS.md records
 // the measured shapes against the paper's claims.
@@ -83,7 +84,7 @@ func RunAll(cfg Config) error {
 	}{
 		{"F1", RunF1}, {"E1", RunE1}, {"E2", RunE2}, {"E3", RunE3},
 		{"E4", RunE4}, {"E5", RunE5}, {"E6", RunE6}, {"E7", RunE7},
-		{"E8", RunE8},
+		{"E8", RunE8}, {"E9", RunE9},
 	}
 	for _, s := range steps {
 		if err := s.fn(cfg); err != nil {
@@ -117,8 +118,10 @@ func Run(id string, cfg Config) error {
 		return RunE7(cfg)
 	case "e8", "E8":
 		return RunE8(cfg)
+	case "e9", "E9":
+		return RunE9(cfg)
 	}
-	return fmt.Errorf("bench: unknown experiment %q (f1, e1..e8, all)", id)
+	return fmt.Errorf("bench: unknown experiment %q (f1, e1..e9, all)", id)
 }
 
 // evalTimed runs a query under options and reports elapsed wall time.

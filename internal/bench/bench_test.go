@@ -21,6 +21,7 @@ func TestExperimentsQuick(t *testing.T) {
 		{"e5", []string{"restarts", "ratio", "solver (exact)"}},
 		{"e6", []string{"REPEAT", "max-mult", "feasible"}},
 		{"e7", []string{"selection", "min-distance", "diverse"}},
+		{"e9", []string{"hierarchical", "top-vars", "warm cache", "true"}},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -30,6 +30,7 @@ import (
 	"repro/internal/prune"
 	"repro/internal/schema"
 	"repro/internal/search"
+	"repro/internal/sketch"
 	"repro/internal/value"
 )
 
@@ -125,6 +126,18 @@ type Options struct {
 	// SketchPartitions targets a SketchRefine partition count instead;
 	// the tighter of the two bounds wins.
 	SketchPartitions int
+	// SketchDepth is the SketchRefine partition-tree depth: 0 or 1 =
+	// flat, ≥ 2 recurses the sketch over partitions of partitions so
+	// the top-level MILP stays tiny at any scale.
+	SketchDepth int
+	// SketchCache, when set, caches SketchRefine partition trees across
+	// evaluations (keyed by a fingerprint of the candidate rows); a hit
+	// skips the offline partitioning step. System and pbserver share
+	// one cache across queries.
+	SketchCache *sketch.Cache
+	// SketchNoCache suppresses the engine-level shared cache injection
+	// (ablation / -sketch-cache=false).
+	SketchNoCache bool
 	// Require lists candidate indexes (positions in the candidate set,
 	// not base-table row ids) that must appear in every package —
 	// adaptive exploration (§3.3) pins kept tuples through this.
@@ -162,21 +175,24 @@ func (p *Package) Size() int {
 
 // Stats describes how an evaluation went.
 type Stats struct {
-	Candidates  int          // tuples passing base constraints
-	Bounds      prune.Bounds // §4.1 cardinality bounds
-	SpacePruned *big.Int     // Σ C(n,k) within bounds (nil unless computed)
-	SpaceFull   *big.Int     // 2^n (nil unless computed)
-	Linear      bool         // MILP-translatable
-	Strategy    Strategy     // strategy actually used
-	Exact       bool         // result is provably optimal/complete
-	Nodes       int64        // search nodes or MILP B&B nodes
-	LPIters     int          // simplex iterations (solver)
-	SQLQueries  int          // replacement queries (local search)
-	Restarts    int          // local-search restarts
-	Partitions  int          // partitions built (sketch-refine)
-	Repaired    int          // partitions greedily repaired (sketch-refine)
-	Elapsed     time.Duration
-	Notes       []string // strategy decisions, fallbacks, caveats
+	Candidates     int          // tuples passing base constraints
+	Bounds         prune.Bounds // §4.1 cardinality bounds
+	SpacePruned    *big.Int     // Σ C(n,k) within bounds (nil unless computed)
+	SpaceFull      *big.Int     // 2^n (nil unless computed)
+	Linear         bool         // MILP-translatable
+	Strategy       Strategy     // strategy actually used
+	Exact          bool         // result is provably optimal/complete
+	Nodes          int64        // search nodes or MILP B&B nodes
+	LPIters        int          // simplex iterations (solver)
+	SQLQueries     int          // replacement queries (local search)
+	Restarts       int          // local-search restarts
+	Partitions     int          // leaf partitions built (sketch-refine)
+	Repaired       int          // partitions greedily repaired (sketch-refine)
+	SketchLevels   int          // partition-tree levels used (sketch-refine; 1 = flat)
+	SketchTopVars  int          // variables in the top-level sketch MILP (sketch-refine)
+	SketchCacheHit bool         // partition tree served from the shared cache
+	Elapsed        time.Duration
+	Notes          []string // strategy decisions, fallbacks, caveats
 }
 
 // Result is the evaluation outcome.
@@ -195,6 +211,10 @@ type Prepared struct {
 	Analysis *paql.Analysis
 	Table    *minidb.Table
 	Instance *search.Instance
+	// SketchCache is the default partition-tree cache for Run when the
+	// options carry none (System.Prepare points it at the engine-level
+	// shared cache, so repeated prep.Run calls skip re-partitioning).
+	SketchCache *sketch.Cache
 }
 
 // Prepare parses, folds sub-queries, analyzes, and computes candidates.

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/milp"
@@ -78,10 +81,6 @@ func (p *Prepared) Run(opts Options) (*Result, error) {
 			default:
 				strat = LocalSearchStrategy
 			}
-		} else if len(opts.Require) > 0 {
-			res.Stats.Notes = append(res.Stats.Notes,
-				"sketch-refine does not support pinned tuples; falling back to the solver")
-			strat = Solver
 		}
 	}
 	res.Stats.Strategy = strat
@@ -131,7 +130,7 @@ func (p *Prepared) chooseStrategy(st *Stats, opts Options) Strategy {
 	n := len(p.Instance.Rows)
 	switch {
 	case p.Analysis.Linear && n > sketchAutoThreshold &&
-		sketch.Applicable(p.Instance) == nil && len(opts.Require) == 0:
+		sketch.Applicable(p.Instance) == nil:
 		st.Notes = append(st.Notes, fmt.Sprintf(
 			"auto: linear query, %d candidates > %d -> SketchRefine (partitioned MILP)", n, sketchAutoThreshold))
 		return SketchRefineStrategy
@@ -207,35 +206,195 @@ func (p *Prepared) runLocal(res *Result, opts Options, fetch int) ([][]int, erro
 }
 
 func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, error) {
+	start := time.Now()
+	cache := opts.SketchCache
+	if cache == nil {
+		cache = p.SketchCache
+	}
+	if opts.SketchNoCache {
+		cache = nil
+	}
+	if cache == nil && fetch > 1 && p.Instance.MaxMult == 1 {
+		// Evaluation-scoped cache: the exclusion-cut re-solves below
+		// reuse the partition tree instead of re-partitioning per
+		// package. Never leaks across queries, so SketchNoCache's
+		// isolation promise holds.
+		cache = sketch.NewCache(2)
+	}
+	// Options.Timeout bounds the whole evaluation: the re-solves below
+	// run on whatever budget the earlier solves left over.
+	remaining := func() (time.Duration, bool) {
+		if opts.Timeout <= 0 {
+			return 0, true
+		}
+		left := opts.Timeout - time.Since(start)
+		return left, left > 0
+	}
 	sres, err := sketch.Solve(p.Instance, sketch.Options{
 		MaxPartitionSize: opts.SketchPartitionSize,
 		NumPartitions:    opts.SketchPartitions,
+		Depth:            opts.SketchDepth,
 		Seed:             opts.Seed,
 		Timeout:          opts.Timeout,
 		SolverNodes:      opts.SolverNodes,
+		Cache:            cache,
+		Require:          opts.Require,
 	})
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.Partitions = sres.Partitions
 	res.Stats.Repaired = sres.Repaired
+	res.Stats.SketchLevels = sres.Levels
+	res.Stats.SketchTopVars = sres.TopVars
+	res.Stats.SketchCacheHit = sres.CacheHit
 	res.Stats.Nodes += sres.Nodes
 	res.Stats.LPIters += sres.LPIters
 	res.Stats.Exact = false
 	res.Stats.Notes = append(res.Stats.Notes, sres.Notes...)
 	res.Stats.Notes = append(res.Stats.Notes, fmt.Sprintf(
-		"sketch-refine: %d partitions (τ bound), %d active, %d refined, %d repaired; objective gap unproven",
-		sres.Partitions, sres.Active, sres.Refined, sres.Repaired))
+		"sketch-refine: %d leaf partitions (τ bound), %d levels, %d top-level vars%s, %d active, %d refined, %d repaired; objective gap unproven",
+		sres.Partitions, sres.Levels, sres.TopVars, cacheNote(sres.CacheHit), sres.Active, sres.Refined, sres.Repaired))
 	if !sres.Feasible {
 		res.Stats.Notes = append(res.Stats.Notes,
 			"sketch-refine found no feasible package (the query may still be feasible; try -strategy solver)")
 		return nil, nil
 	}
+	mults := [][]int{sres.Mult}
 	if fetch > 1 {
-		res.Stats.Notes = append(res.Stats.Notes,
-			"sketch-refine returns a single package; use the solver for top-k or diverse sets")
+		// One sketch solve yields one deterministic package. Additional
+		// distinct packages (top-k, diverse sets, adaptive exploration's
+		// Replace) come from re-solving with exclusion cuts in sketch
+		// space — the cached partition tree is reused, so each extra
+		// package costs one sketch+refine pass, no re-partitioning.
+		if p.Instance.MaxMult == 1 {
+			exclude := [][]int{sres.Mult}
+			for len(mults) < fetch {
+				left, ok := remaining()
+				if !ok {
+					res.Stats.Notes = append(res.Stats.Notes, "sketch-refine: timeout reached before all requested packages")
+					break
+				}
+				alt, err := sketch.Solve(p.Instance, sketch.Options{
+					MaxPartitionSize: opts.SketchPartitionSize,
+					NumPartitions:    opts.SketchPartitions,
+					Depth:            opts.SketchDepth,
+					Seed:             opts.Seed,
+					Timeout:          left,
+					SolverNodes:      opts.SolverNodes,
+					Cache:            cache,
+					Require:          opts.Require,
+					Exclude:          exclude,
+				})
+				if err != nil {
+					res.Stats.Notes = append(res.Stats.Notes,
+						fmt.Sprintf("sketch-refine: exclusion-cut solve failed: %v", err))
+					break
+				}
+				if !alt.Feasible {
+					break // no further distinct package reachable
+				}
+				res.Stats.Nodes += alt.Nodes
+				res.Stats.LPIters += alt.LPIters
+				mults = append(mults, alt.Mult)
+				exclude = append(exclude, alt.Mult)
+			}
+			res.Stats.Notes = append(res.Stats.Notes, fmt.Sprintf(
+				"sketch-refine: %d of %d requested packages via exclusion cuts in sketch space",
+				len(mults), fetch))
+		} else {
+			// REPEAT queries: exclusion cuts need 0/1 multiplicities, so
+			// perturb the partition size and seed instead — moving τ
+			// moves every partition boundary, so the sketch lands
+			// elsewhere.
+			baseTau := sketch.Options{
+				MaxPartitionSize: opts.SketchPartitionSize,
+				NumPartitions:    opts.SketchPartitions,
+			}.EffectiveTau(len(p.Instance.Rows))
+			seen := map[string]bool{MultKey(sres.Mult): true}
+			for attempt := int64(1); len(mults) < fetch && attempt <= 2*int64(fetch); attempt++ {
+				left, ok := remaining()
+				if !ok {
+					res.Stats.Notes = append(res.Stats.Notes, "sketch-refine: timeout reached before all requested packages")
+					break
+				}
+				// No cache: each perturbed (τ, seed) pair is near
+				// single-use and would evict hot trees from the shared
+				// LRU.
+				alt, err := sketch.Solve(p.Instance, sketch.Options{
+					MaxPartitionSize: baseTau + int(attempt),
+					Depth:            opts.SketchDepth,
+					Seed:             opts.Seed + attempt,
+					Timeout:          left,
+					SolverNodes:      opts.SolverNodes,
+					Require:          opts.Require,
+				})
+				if err != nil {
+					// Deterministic errors would repeat across attempts;
+					// stop instead of re-partitioning 2*fetch times.
+					res.Stats.Notes = append(res.Stats.Notes,
+						fmt.Sprintf("sketch-refine: perturbed solve failed: %v", err))
+					break
+				}
+				if !alt.Feasible {
+					continue
+				}
+				res.Stats.Nodes += alt.Nodes
+				res.Stats.LPIters += alt.LPIters
+				if k := MultKey(alt.Mult); !seen[k] {
+					seen[k] = true
+					mults = append(mults, alt.Mult)
+				}
+			}
+			res.Stats.Notes = append(res.Stats.Notes, fmt.Sprintf(
+				"sketch-refine: %d of %d requested packages via partition perturbation (REPEAT blocks exclusion cuts)",
+				len(mults), fetch))
+		}
+		sortMultsByObjective(p.Instance, mults)
 	}
-	return [][]int{sres.Mult}, nil
+	return mults, nil
+}
+
+// MultKey renders a multiplicity vector as an exact dedup key (no
+// clamping: REPEAT multiplicities must not collide). Shared by the
+// engine's multi-package sketch path and explore's Replace history.
+func MultKey(mult []int) string {
+	var b strings.Builder
+	for i, m := range mult {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(m))
+	}
+	return b.String()
+}
+
+// sortMultsByObjective orders packages best-first under the query's
+// objective sense (no-op for objective-free queries).
+func sortMultsByObjective(inst *search.Instance, mults [][]int) {
+	if inst.Analysis.Query.Objective == nil || len(mults) < 2 {
+		return
+	}
+	type pkg struct {
+		mult []int
+		obj  float64
+	}
+	ps := make([]pkg, len(mults))
+	for i, m := range mults {
+		o, _ := inst.Objective(m)
+		ps[i] = pkg{mult: m, obj: o}
+	}
+	sort.SliceStable(ps, func(i, j int) bool { return inst.Better(ps[i].obj, ps[j].obj) })
+	for i := range ps {
+		mults[i] = ps[i].mult
+	}
+}
+
+func cacheNote(hit bool) string {
+	if hit {
+		return " (partition tree from cache)"
+	}
+	return ""
 }
 
 func (p *Prepared) runSolver(res *Result, opts Options, fetch int) ([][]int, error) {

@@ -149,13 +149,89 @@ func TestAutoSelectsSketchAboveThreshold(t *testing.T) {
 	if len(res.Packages) == 0 {
 		t.Fatal("no package returned")
 	}
-	// Require pins force the solver: sketch cannot honor them.
+	// Require pins stay on the sketch path: the pinned tuple's leaf
+	// partition is forced into every sketch level.
 	pinned, err := Evaluate(db, q, Options{Seed: 1, Strategy: SketchRefineStrategy, Require: []int{0}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pinned.Stats.Strategy != Solver {
-		t.Errorf("Require should fall back to the solver, got %v", pinned.Stats.Strategy)
+	if pinned.Stats.Strategy != SketchRefineStrategy {
+		t.Fatalf("Require should stay on sketch-refine, got %v", pinned.Stats.Strategy)
+	}
+	if len(pinned.Packages) == 0 {
+		t.Fatal("no package returned with a pinned tuple")
+	}
+	if pinned.Packages[0].Mult[0] < 1 {
+		t.Errorf("pinned candidate 0 missing from the package (mult %d)", pinned.Packages[0].Mult[0])
+	}
+}
+
+// TestSketchMultiplePackages covers adaptive exploration's Replace on
+// the sketch path: asking for several packages must yield distinct
+// multiplicity vectors (via exclusion cuts in sketch space — the query
+// has no REPEAT), best-first.
+func TestSketchMultiplePackages(t *testing.T) {
+	db := minidb.New()
+	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: 300, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(db, `SELECT PACKAGE(R) AS P FROM recipes R
+		SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500
+		MAXIMIZE SUM(P.protein)`,
+		Options{Strategy: SketchRefineStrategy, Seed: 1, Limit: 3, SketchPartitionSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Packages) < 2 {
+		t.Fatalf("got %d packages, want >= 2 distinct", len(res.Packages))
+	}
+	seen := map[string]bool{}
+	for i, p := range res.Packages {
+		k := MultKey(p.Mult)
+		if seen[k] {
+			t.Fatalf("package %d duplicates an earlier one", i)
+		}
+		seen[k] = true
+		if i > 0 && p.Objective > res.Packages[i-1].Objective+1e-9 {
+			t.Fatalf("packages not best-first: %g after %g", p.Objective, res.Packages[i-1].Objective)
+		}
+	}
+}
+
+// TestSketchMultiplePackagesRepeat covers the other multi-package
+// branch: REPEAT blocks exclusion cuts, so distinct packages come from
+// partition-size/seed perturbation.
+func TestSketchMultiplePackagesRepeat(t *testing.T) {
+	db := minidb.New()
+	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: 300, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(db, `SELECT PACKAGE(R) AS P FROM recipes R REPEAT 1
+		SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500
+		MAXIMIZE SUM(P.protein)`,
+		Options{Strategy: SketchRefineStrategy, Seed: 1, Limit: 3, SketchPartitionSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Packages) == 0 {
+		t.Fatal("no packages returned")
+	}
+	seen := map[string]bool{}
+	for i, p := range res.Packages {
+		k := MultKey(p.Mult)
+		if seen[k] {
+			t.Fatalf("package %d duplicates an earlier one", i)
+		}
+		seen[k] = true
+	}
+	found := false
+	for _, n := range res.Stats.Notes {
+		if strings.Contains(n, "partition perturbation") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("REPEAT query should use the perturbation path, notes: %v", res.Stats.Notes)
 	}
 }
 

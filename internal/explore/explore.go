@@ -126,27 +126,16 @@ func (s *Session) Replace() (*core.Package, error) {
 	s.stats = &res.Stats
 	seen := map[string]bool{}
 	for _, h := range s.history {
-		seen[multKey(h.Mult)] = true
+		seen[core.MultKey(h.Mult)] = true
 	}
 	for _, p := range res.Packages {
-		if !seen[multKey(p.Mult)] {
+		if !seen[core.MultKey(p.Mult)] {
 			s.current = p
 			s.history = append(s.history, p)
 			return p, nil
 		}
 	}
 	return nil, fmt.Errorf("explore: no further distinct package exists%s", pinSuffix(len(opts.Require)))
-}
-
-func multKey(m []int) string {
-	b := make([]byte, len(m))
-	for i, v := range m {
-		if v > 9 {
-			v = 9
-		}
-		b[i] = byte('0' + v)
-	}
-	return string(b)
 }
 
 // Highlight describes what the user selected in the sample-package view.

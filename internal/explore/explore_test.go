@@ -52,13 +52,13 @@ func TestReplaceProducesDistinctPackages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seen := map[string]bool{multKey(first.Mult): true}
+	seen := map[string]bool{core.MultKey(first.Mult): true}
 	for i := 0; i < 3; i++ {
 		next, err := s.Replace()
 		if err != nil {
 			t.Fatalf("replace %d: %v", i, err)
 		}
-		key := multKey(next.Mult)
+		key := core.MultKey(next.Mult)
 		if seen[key] {
 			t.Fatalf("replace %d returned a previously shown package", i)
 		}

@@ -1,0 +1,154 @@
+package sketch
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/schema"
+)
+
+// DefaultCacheCapacity bounds a Cache when the caller passes no
+// capacity of their own.
+const DefaultCacheCapacity = 32
+
+// Key identifies one partition tree in the cache: the dataset
+// fingerprint plus every knob that shapes the tree. Two evaluations
+// share a tree only when they agree on all of them; a write to the
+// backing rows changes the fingerprint, so stale trees are never
+// served and age out of the LRU instead.
+type Key struct {
+	Fingerprint uint64 // Fingerprint of the candidate rows
+	Attrs       string // partition attributes, comma-joined ordinals
+	Tau         int    // leaf size bound
+	Depth       int    // tree depth
+	Seed        int64  // tie-break seed
+}
+
+// Fingerprint hashes the candidate rows (order-sensitive, every cell)
+// into the cache key. It is linear in the data but orders of magnitude
+// cheaper than partitioning, which is what a cache hit skips.
+func Fingerprint(rows []schema.Row) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(u uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (u >> s) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(len(rows)))
+	for _, row := range rows {
+		mix(uint64(len(row)))
+		for _, v := range row {
+			mix(v.Hash())
+		}
+	}
+	return h
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d",
+		s.Hits, s.Misses, s.Evictions, s.Entries)
+}
+
+// Cache is an LRU of partition trees shared across queries (and, in
+// pbserver, across requests): repeated workloads over unchanged data
+// skip the offline partitioning step entirely. Trees are immutable, so
+// a cached tree may be used by many evaluations concurrently. Safe for
+// concurrent use.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used; values are *cacheEntry
+	entries   map[Key]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key  Key
+	tree *Tree
+}
+
+// NewCache creates a cache bounded at capacity trees (<=0 uses
+// DefaultCacheCapacity).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  map[Key]*list.Element{},
+	}
+}
+
+// Get returns the cached tree for the key, marking it most recently
+// used. Every lookup counts toward the hit/miss statistics.
+func (c *Cache) Get(k Key) (*Tree, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).tree, true
+}
+
+// Put stores a tree, evicting the least recently used entry beyond
+// capacity.
+func (c *Cache) Put(k Key, t *Tree) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).tree = t
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, tree: t})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Len reports the number of cached trees.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats snapshots the hit/miss/eviction counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.order.Len()}
+}
+
+// Clear drops every entry (counters are kept: they describe lifetime
+// effectiveness, not contents).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = map[Key]*list.Element{}
+}

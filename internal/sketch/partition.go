@@ -49,37 +49,57 @@ func Partition(inst *search.Instance, opts Options) *Partitioning {
 	if n == 0 {
 		return part
 	}
-	// The seed only shuffles the attribute ordering used for tie-breaks,
-	// so equal-spread attributes split in a seed-dependent but
-	// reproducible order.
-	attrs := append([]int(nil), part.Attrs...)
-	rand.New(rand.NewSource(opts.Seed)).Shuffle(len(attrs), func(i, j int) {
-		attrs[i], attrs[j] = attrs[j], attrs[i]
-	})
+	attrs := shuffledAttrs(part.Attrs, opts.Seed)
 	all := make([]int, n)
 	for i := range all {
 		all[i] = i
 	}
+	part.Groups = medianSplit(inst.Rows, all, attrs, part.Tau)
+	for _, g := range part.Groups {
+		part.Reps = append(part.Reps, representative(inst.Rows, g))
+	}
+	return part
+}
+
+// shuffledAttrs copies attrs in a seed-dependent order: the seed only
+// affects the tie-break ordering used by the splitter, so equal-spread
+// attributes split in a reproducible but seed-varied order.
+func shuffledAttrs(attrs []int, seed int64) []int {
+	out := append([]int(nil), attrs...)
+	rand.New(rand.NewSource(seed)).Shuffle(len(out), func(i, j int) {
+		out[i], out[j] = out[j], out[i]
+	})
+	return out
+}
+
+// medianSplit splits the index set over rows into groups of at most tau
+// elements by recursive median splits on attrs (the attribute with the
+// widest normalized spread within the group is split first). The
+// returned groups are each sorted ascending. The partitioner uses it
+// over the candidate tuples; the tree builder reuses it over the
+// representative rows of a whole level.
+func medianSplit(rows []schema.Row, all []int, attrs []int, tau int) [][]int {
+	var groups [][]int
 	var split func(g []int)
 	split = func(g []int) {
-		if len(g) <= part.Tau {
+		if len(g) <= tau {
 			gg := append([]int(nil), g...)
 			sort.Ints(gg)
-			part.Groups = append(part.Groups, gg)
+			groups = append(groups, gg)
 			return
 		}
-		a := widestAttr(inst.Rows, g, attrs)
+		a := widestAttr(rows, g, attrs)
 		if a < 0 {
 			// No attribute separates the group (all values equal):
 			// chop it by index.
-			for s := 0; s < len(g); s += part.Tau {
-				e := min(s+part.Tau, len(g))
+			for s := 0; s < len(g); s += tau {
+				e := min(s+tau, len(g))
 				split(g[s:e])
 			}
 			return
 		}
 		sort.SliceStable(g, func(i, j int) bool {
-			vi, vj := numAt(inst.Rows[g[i]], a), numAt(inst.Rows[g[j]], a)
+			vi, vj := numAt(rows[g[i]], a), numAt(rows[g[j]], a)
 			if vi != vj {
 				return vi < vj
 			}
@@ -90,10 +110,7 @@ func Partition(inst *search.Instance, opts Options) *Partitioning {
 		split(g[mid:])
 	}
 	split(all)
-	for _, g := range part.Groups {
-		part.Reps = append(part.Reps, representative(inst.Rows, g))
-	}
-	return part
+	return groups
 }
 
 // partitionAttrs collects the numeric columns referenced by the query's

@@ -24,11 +24,12 @@ const maxSweeps = 3
 // constraint right-hand sides are the query atoms minus every other
 // partition's current contribution. Infeasible or over-budget
 // sub-problems fall back to a greedy repair that picks the tuples
-// nearest the representative. The final package is validated against
-// the full formula, with up to maxSweeps coordinate-descent passes to
-// absorb representative error.
-func refine(inst *search.Instance, part *Partitioning, repAtoms []*translate.LinearAtom, y []int, opts Options, deadline time.Time, res *Result) {
-	atoms := inst.Atoms
+// nearest the representative. Pinned tuples keep multiplicity ≥ 1
+// throughout: the sub-MILP floors their variables and the repair
+// assigns them first. The final package is validated against the full
+// formula (and the pins), with up to maxSweeps coordinate-descent
+// passes to absorb representative error.
+func refine(inst *search.Instance, part *Partitioning, atoms, repAtoms []*translate.LinearAtom, y []int, pins map[int]bool, opts Options, deadline time.Time, res *Result) {
 	n := len(inst.Rows)
 	mult := make([]int, n)
 
@@ -61,19 +62,24 @@ func refine(inst *search.Instance, part *Partitioning, repAtoms []*translate.Lin
 	})
 	res.Active = len(active)
 
-	scales := attrScales(inst, part.Attrs)
+	// Scales feed only the greedy fallback's distance metric, and cost a
+	// full candidate scan — computed on first use.
+	var scales []float64
 	refineGroup := func(g int, sweep int) {
 		residual := make([]float64, len(atoms))
 		for k := range atoms {
 			residual[k] = atoms[k].RHS - (cur[k] - grpSum[g][k])
 		}
-		ok := subSolve(inst, part, g, residual, mult, opts, deadline, res)
+		ok := residualSolve(inst, part.Groups[g], tupleBound(inst, pins), atoms, inst.ObjW, residual, mult, opts, deadline, res)
 		if ok {
 			if sweep == 0 {
 				res.Refined++
 			}
 		} else {
-			greedyRepair(inst, part, g, y[g], mult, scales)
+			if scales == nil {
+				scales = attrScales(inst, part.Attrs)
+			}
+			greedyRepair(inst, part, g, y[g], mult, pins, scales)
 			if sweep == 0 {
 				res.Repaired++
 			}
@@ -108,6 +114,12 @@ func refine(inst *search.Instance, part *Partitioning, repAtoms []*translate.Lin
 	if obj, err := inst.Objective(mult); err == nil {
 		res.Objective = obj
 	}
+	for i := range pins {
+		if valid && mult[i] == 0 {
+			valid = false
+			res.Notes = append(res.Notes, "internal: a pinned tuple fell out of the refined package")
+		}
+	}
 	if valid {
 		// Atoms are exactly the formula (Applicable requires Pure), but
 		// validate end to end anyway; a disagreement is a bug upstream.
@@ -124,43 +136,42 @@ func refine(inst *search.Instance, part *Partitioning, repAtoms []*translate.Lin
 	}
 }
 
-// subSolve runs the per-partition MILP: variables are the partition's
-// tuple multiplicities, constraints the query atoms with residual
-// right-hand sides, objective the query's affine objective restricted
-// to the partition. Atoms the partition cannot influence (all-zero
-// weights) are skipped: their violation, if any, is another partition's
-// to repair. Returns false when the sub-MILP is infeasible, hits its
+// residualSolve runs one residual sub-MILP shared by the refine step
+// (members are partition tuples) and the hierarchical push-down
+// (members are a level's nodes): variables are the members'
+// multiplicities with caller-supplied bounds, constraints the atoms —
+// weighted per member — against residual right-hand sides, objective
+// the affine objective restricted to the members. Atoms the members
+// cannot influence (all-zero weights) are skipped: their violation, if
+// any, is another group's to repair. The solution lands in out, indexed
+// by member id. Returns false when the MILP is infeasible, hits its
 // limits without an incumbent, or the budget is spent.
-func subSolve(inst *search.Instance, part *Partitioning, g int, residual []float64, mult []int, opts Options, deadline time.Time, res *Result) bool {
+func residualSolve(inst *search.Instance, members []int, bound func(id int) (lo, up float64), atoms []*translate.LinearAtom, objW []float64, residual []float64, out []int, opts Options, deadline time.Time, res *Result) bool {
 	if !deadline.IsZero() && time.Now().After(deadline) {
 		return false
 	}
-	members := part.Groups[g]
 	m := len(members)
 	p := lp.NewProblem(m)
-	for j := 0; j < m; j++ {
-		up := lp.Inf
-		if inst.MaxMult > 0 {
-			up = float64(inst.MaxMult)
-		}
-		if err := p.SetBounds(j, 0, up); err != nil {
+	for j, id := range members {
+		lo, up := bound(id)
+		if err := p.SetBounds(j, lo, up); err != nil {
 			return false
 		}
 	}
-	if inst.ObjW != nil {
+	if inst.ObjW != nil && objW != nil {
 		obj := make([]float64, m)
-		for j, i := range members {
-			obj[j] = inst.ObjW[i]
+		for j, id := range members {
+			obj[j] = objW[id]
 		}
 		if err := p.SetObjective(obj, objSense(inst)); err != nil {
 			return false
 		}
 	}
-	for k, at := range inst.Atoms {
+	for k, at := range atoms {
 		var coefs []lp.Coef
-		for j, i := range members {
-			if at.W[i] != 0 {
-				coefs = append(coefs, lp.Coef{Var: j, Val: at.W[i]})
+		for j, id := range members {
+			if at.W[id] != 0 {
+				coefs = append(coefs, lp.Coef{Var: j, Val: at.W[id]})
 			}
 		}
 		if len(coefs) == 0 {
@@ -180,26 +191,48 @@ func subSolve(inst *search.Instance, part *Partitioning, g int, residual []float
 	if sol.X == nil || (sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible) {
 		return false
 	}
-	for j, i := range members {
-		mult[i] = int(math.Round(sol.X[j]))
+	for j, id := range members {
+		out[id] = int(math.Round(sol.X[j]))
 	}
 	return true
 }
 
+// tupleBound is the refine step's bound function: pinned tuples floored
+// at 1, capped at the query's REPEAT bound.
+func tupleBound(inst *search.Instance, pins map[int]bool) func(int) (float64, float64) {
+	return func(i int) (float64, float64) {
+		lo := 0.0
+		if pins[i] {
+			lo = 1
+		}
+		up := lp.Inf
+		if inst.MaxMult > 0 {
+			up = float64(inst.MaxMult)
+		}
+		return lo, up
+	}
+}
+
 // greedyRepair approximates the representative's contribution with real
-// tuples when the sub-MILP fails: the units partitions owe (the sketch
-// multiplicity) are assigned round-robin to the partition's tuples
-// nearest the representative in normalized attribute space.
-func greedyRepair(inst *search.Instance, part *Partitioning, g, units int, mult []int, scales []float64) {
+// tuples when the sub-MILP fails: pinned tuples receive their unit
+// first, then the remaining units the sketch owes are assigned
+// round-robin to the partition's tuples nearest the representative in
+// normalized attribute space.
+func greedyRepair(inst *search.Instance, part *Partitioning, g, units int, mult []int, pins map[int]bool, scales []float64) {
 	members := part.Groups[g]
-	for _, i := range members {
-		mult[i] = 0
-	}
-	if units <= 0 {
-		return
-	}
 	rep := part.Reps[g]
-	order := append([]int(nil), members...)
+	floor := func(i int) int {
+		if pins[i] {
+			return 1
+		}
+		return 0
+	}
+	capacity := func(int) int {
+		if inst.MaxMult > 0 {
+			return inst.MaxMult
+		}
+		return max(units, 1)
+	}
 	dist := func(i int) float64 {
 		d := 0.0
 		for ai, a := range part.Attrs {
@@ -208,6 +241,26 @@ func greedyRepair(inst *search.Instance, part *Partitioning, g, units int, mult 
 		}
 		return d
 	}
+	allocate(members, units, floor, capacity, dist, mult)
+}
+
+// allocate distributes units across members: every member first takes
+// its floor (floors outrank units — the total placed is at least their
+// sum), then the remainder goes round-robin in distance order (nearest
+// first, member id on ties), respecting per-member capacity. Results
+// land in out, indexed by member id; prior values are overwritten. Both
+// greedy fallbacks — per-leaf repair and per-level spread — share it.
+func allocate(members []int, units int, floor, capacity func(id int) int, dist func(id int) float64, out []int) {
+	placed := 0
+	for _, id := range members {
+		f := floor(id)
+		out[id] = f
+		placed += f
+	}
+	if units < placed {
+		units = placed
+	}
+	order := append([]int(nil), members...)
 	sort.SliceStable(order, func(a, b int) bool {
 		da, db := dist(order[a]), dist(order[b])
 		if da != db {
@@ -215,25 +268,20 @@ func greedyRepair(inst *search.Instance, part *Partitioning, g, units int, mult 
 		}
 		return order[a] < order[b]
 	})
-	cap := inst.MaxMult
-	if cap <= 0 {
-		cap = units
-	}
-	placed := 0
 	for placed < units {
 		progressed := false
-		for _, i := range order {
+		for _, id := range order {
 			if placed >= units {
 				break
 			}
-			if mult[i] < cap {
-				mult[i]++
+			if out[id] < capacity(id) {
+				out[id]++
 				placed++
 				progressed = true
 			}
 		}
 		if !progressed {
-			break // partition capacity exhausted
+			break // capacity exhausted
 		}
 	}
 }

@@ -1,14 +1,25 @@
 // Package sketch implements SketchRefine, the partition-based
 // evaluation strategy from the paper's follow-up work ("Scalable
-// Package Queries in Relational Database Systems", PVLDB 2016): instead
-// of handing the solver one MILP with a variable per candidate tuple,
-// the relation is partitioned offline into size-bounded groups over the
+// Package Queries in Relational Database Systems", PVLDB 2016, and
+// "Scaling Package Queries to a Billion Tuples via Hierarchical
+// Partitioning and Customized Optimization", PVLDB 2023): instead of
+// handing the solver one MILP with a variable per candidate tuple, the
+// relation is partitioned offline into size-bounded groups over the
 // query's numeric attributes, a small "sketch" package is solved over
 // one representative tuple per group, and the sketch is then refined
 // partition by partition, swapping each chosen representative for real
 // tuples via a tiny per-partition MILP. One huge solve becomes many
 // small ones, trading a bounded objective gap for orders-of-magnitude
 // lower latency at scale.
+//
+// At depth ≥ 2 the flat partitioning generalizes to a partition tree:
+// the sketch MILP runs over the tree's roots (about the depth-th root
+// of the leaf count), and each selected node's multiplicity is re-solved
+// over its children's representatives level by level, descending only
+// into nodes the level above chose — the top-level solve stays tiny no
+// matter how large the relation grows. An optional Cache keyed by a
+// fingerprint of the candidate rows lets repeated workloads skip the
+// offline partitioning step entirely.
 //
 // The strategy applies to linear queries whose SUCH THAT clause is a
 // pure conjunction of SUM/COUNT comparison atoms and whose objective is
@@ -17,17 +28,22 @@
 // out, a greedy repair pass substitutes the real tuples nearest the
 // representative; a final validation plus bounded re-refinement sweeps
 // keep the result honest — Result.Feasible is true only for packages
-// that satisfy the full SUCH THAT formula.
+// that satisfy the full SUCH THAT formula (and contain every pinned
+// tuple, when Options.Require is set).
 package sketch
 
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/lp"
 	"repro/internal/milp"
 	"repro/internal/paql"
+	"repro/internal/schema"
 	"repro/internal/search"
 	"repro/internal/translate"
 )
@@ -36,13 +52,22 @@ import (
 // sets neither MaxPartitionSize nor NumPartitions.
 const DefaultPartitionSize = 64
 
+// maxDepth caps the partition-tree depth; beyond it extra levels only
+// add representative error.
+const maxDepth = 8
+
 // Options tunes a SketchRefine evaluation.
 type Options struct {
-	// MaxPartitionSize bounds each partition (τ); 0 = default (64).
+	// MaxPartitionSize bounds each leaf partition (τ); 0 = default (64).
 	MaxPartitionSize int
-	// NumPartitions targets a partition count instead; the tighter of
-	// the two bounds wins. 0 = derive from MaxPartitionSize.
+	// NumPartitions targets a leaf count instead; the tighter of the
+	// two bounds wins. 0 = derive from MaxPartitionSize.
 	NumPartitions int
+	// Depth is the number of sketch levels (the partition-tree depth):
+	// 0 or 1 = flat SketchRefine, ≥ 2 recurses the sketch over
+	// partitions of partitions so the top-level MILP stays around the
+	// depth-th root of the leaf count (clamped to 8).
+	Depth int
 	// Seed drives partitioning tie-breaks (deterministic per seed).
 	Seed int64
 	// Timeout bounds the whole evaluation; refine falls back to greedy
@@ -50,6 +75,24 @@ type Options struct {
 	Timeout time.Duration
 	// SolverNodes caps branch-and-bound nodes per sub-MILP (0 = default).
 	SolverNodes int
+	// Cache, when non-nil, caches partition trees across evaluations,
+	// keyed by a fingerprint of the candidate rows plus the
+	// partitioning knobs; a hit skips the offline partitioning step
+	// entirely. Share one Cache across queries over the same data.
+	Cache *Cache
+	// Require lists candidate indexes that must appear in every package
+	// with multiplicity ≥ 1. Each pinned tuple's leaf partition is
+	// forced into every sketch level (a lower bound on the multiplicity
+	// of every ancestor node) instead of falling back to the exact
+	// solver.
+	Require []int
+	// Exclude lists multiplicity vectors of packages the result must
+	// differ from — exclusion cuts in sketch space: each cut becomes
+	// one extra linear atom (the solver's §5 cut
+	// Σ_{i∈S} x_i − Σ_{i∉S} x_i ≤ |S|−1), enforced approximately at
+	// every sketch level via per-node mean weights and exactly during
+	// refine. Requires 0/1 multiplicities (no REPEAT).
+	Exclude [][]int
 }
 
 func (o Options) nodes() int {
@@ -59,13 +102,31 @@ func (o Options) nodes() int {
 	return 50000
 }
 
+// EffectiveTau resolves the leaf size bound the options imply for an
+// n-candidate instance (exported for callers that perturb it between
+// re-solves, like the engine's multi-package path).
+func (o Options) EffectiveTau(n int) int { return effectiveTau(n, o) }
+
+func (o Options) depth() int {
+	if o.Depth <= 1 {
+		return 1
+	}
+	if o.Depth > maxDepth {
+		return maxDepth
+	}
+	return o.Depth
+}
+
 // Result is a SketchRefine outcome.
 type Result struct {
 	Mult       []int   // multiplicity per candidate
 	Objective  float64 // objective of Mult (0 when the query has none)
-	Feasible   bool    // Mult satisfies the full SUCH THAT formula
-	Partitions int     // partitions produced by the offline step
-	Active     int     // partitions the sketch solution touched
+	Feasible   bool    // Mult satisfies the full SUCH THAT formula (and pins)
+	Partitions int     // leaf partitions produced by the offline step
+	Levels     int     // partition-tree levels used (1 = flat)
+	TopVars    int     // variables in the top-level sketch MILP
+	CacheHit   bool    // partition tree served from the cache
+	Active     int     // leaf partitions the sketch solution touched
 	Refined    int     // partitions refined via their sub-MILP
 	Repaired   int     // partitions that fell back to greedy repair
 	Nodes      int64   // branch-and-bound nodes across all solves
@@ -89,11 +150,12 @@ func Applicable(inst *search.Instance) error {
 	return nil
 }
 
-// Solve runs SketchRefine: partition, sketch over representatives,
-// refine per partition. When the sketch MILP over representatives is
-// infeasible the partitioning is retried at a quarter of the size bound
-// (finer partitions make representatives more faithful) before giving
-// up.
+// Solve runs SketchRefine: partition (or fetch the partition tree from
+// the cache), sketch over the tree's roots, descend level by level, and
+// refine the leaves into real tuples. When the sketch MILP over the
+// roots is infeasible the partitioning is retried at a quarter of the
+// size bound (finer partitions make representatives more faithful)
+// before giving up.
 func Solve(inst *search.Instance, opts Options) (*Result, error) {
 	start := time.Now()
 	if err := Applicable(inst); err != nil {
@@ -102,6 +164,22 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 	res := &Result{}
 	defer func() { res.Elapsed = time.Since(start) }()
 	n := len(inst.Rows)
+	pins, err := pinSet(n, opts.Require)
+	if err != nil {
+		return nil, err
+	}
+	exAtoms, err := exclusionAtoms(inst, opts.Exclude)
+	if err != nil {
+		return nil, err
+	}
+	// The working atom set: the query's conjunctive atoms plus one
+	// synthetic atom per exclusion cut. Everything downstream — the
+	// per-level sketch MILPs, the refine residuals, the final check —
+	// enforces this extended set.
+	fullAtoms := inst.Atoms
+	if len(exAtoms) > 0 {
+		fullAtoms = append(append([]*translate.LinearAtom{}, inst.Atoms...), exAtoms...)
+	}
 	if n == 0 {
 		res.Mult = []int{}
 		res.Feasible = inst.CheckAtoms(res.Mult) && inst.Bounds.Lo <= 0
@@ -112,17 +190,46 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 		deadline = start.Add(opts.Timeout)
 	}
 	tau := effectiveTau(n, opts)
-	for attempt := 0; ; attempt++ {
-		o := opts
-		o.MaxPartitionSize, o.NumPartitions = tau, 0
-		part := Partition(inst, o)
-		res.Partitions = len(part.Groups)
-		y, repAtoms, infeasible, err := sketchSolve(inst, part, opts, deadline, res)
+	depth := opts.depth()
+	reducedTau := false
+	var flatFrom *Tree // a hierarchical tree whose leaves the flat retry reuses
+	for {
+		var tree *Tree
+		if flatFrom != nil {
+			// The flat retry shares the previous tree's leaf level: same
+			// τ and seed mean the leaves are identical, so re-running the
+			// offline partitioning (the dominant cost at scale) would
+			// only rebuild what is already in memory.
+			tree = flatFrom.flatten()
+			flatFrom = nil
+		} else {
+			o := opts
+			o.MaxPartitionSize, o.NumPartitions, o.Depth = tau, 0, depth
+			tree = acquireTree(inst, o, res)
+		}
+		res.Partitions = len(tree.Leaves())
+		res.Levels = tree.Depth
+		res.TopVars = len(tree.Levels[0])
+		y, leafAtoms, infeasible, err := descend(inst, tree, fullAtoms, exAtoms, pins, opts, deadline, res)
 		if err != nil {
 			return nil, err
 		}
 		if infeasible {
-			if attempt == 0 && tau > 1 {
+			switch {
+			case tree.Depth > 1:
+				// Coarse top-level representatives can be infeasible
+				// where the flat sketch is not; retry over the same
+				// leaves as a single level before shrinking τ. (Keyed
+				// on the tree actually built: a depth request the
+				// builder early-stopped to 1 level must not re-try the
+				// same flat tree.)
+				depth = 1
+				flatFrom = tree
+				res.Notes = append(res.Notes,
+					"hierarchical sketch infeasible at the top level; retrying flat over the same leaves")
+				continue
+			case !reducedTau && tau > 1:
+				reducedTau = true
 				tau = max(1, tau/4)
 				res.Notes = append(res.Notes,
 					fmt.Sprintf("sketch over representatives infeasible; retrying with partition size %d", tau))
@@ -135,42 +242,191 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 			res.Notes = append(res.Notes, "sketch solver hit its limits without an incumbent")
 			return res, nil
 		}
-		refine(inst, part, repAtoms, y, opts, deadline, res)
+		refine(inst, tree.leafPartitioning(), fullAtoms, leafAtoms, y, pins, opts, deadline, res)
 		return res, nil
 	}
 }
 
-// sketchSolve builds and solves the sketch MILP: one integer variable
-// per partition (the representative's multiplicity, capped at partition
-// capacity), the query's linear atoms re-weighted over representatives,
-// and the affine objective likewise.
-func sketchSolve(inst *search.Instance, part *Partitioning, opts Options, deadline time.Time, res *Result) (y []int, repAtoms []*translate.LinearAtom, infeasible bool, err error) {
-	repAtoms, _, err = translate.ConjunctiveAtoms(inst.Analysis, part.Reps)
-	if err != nil {
-		return nil, nil, false, err
+// exclusionAtoms converts excluded multiplicity vectors into tuple-level
+// linear atoms (Σ_{i∈S} x_i − Σ_{i∉S} x_i ≤ |S|−1).
+func exclusionAtoms(inst *search.Instance, exclude [][]int) ([]*translate.LinearAtom, error) {
+	if len(exclude) == 0 {
+		return nil, nil
 	}
-	if len(repAtoms) != len(inst.Atoms) {
-		return nil, nil, false, fmt.Errorf("sketch: internal error: %d representative atoms for %d instance atoms", len(repAtoms), len(inst.Atoms))
+	if inst.MaxMult != 1 {
+		return nil, fmt.Errorf("sketch: exclusion cuts require 0/1 multiplicities (REPEAT 0), REPEAT is %d", inst.MaxMult-1)
 	}
-	repW, _, err := translate.ObjectiveWeights(inst.Analysis, part.Reps)
-	if err != nil {
-		return nil, nil, false, err
+	atoms := make([]*translate.LinearAtom, 0, len(exclude))
+	for _, mult := range exclude {
+		if len(mult) != len(inst.Rows) {
+			return nil, fmt.Errorf("sketch: exclusion cut has %d entries for %d candidates", len(mult), len(inst.Rows))
+		}
+		w := make([]float64, len(mult))
+		in := 0
+		for i, m := range mult {
+			if m > 0 {
+				w[i] = 1
+				in++
+			} else {
+				w[i] = -1
+			}
+		}
+		atoms = append(atoms, &translate.LinearAtom{W: w, Op: lp.LE, RHS: float64(in - 1), Source: "exclusion cut"})
 	}
-	G := len(part.Groups)
+	return atoms, nil
+}
+
+// nodeExclusionAtoms re-weights tuple-level exclusion atoms over a
+// level's nodes: a node's weight is its subtree's mean tuple weight,
+// the same per-unit approximation the representative carries for SUM
+// atoms.
+func nodeExclusionAtoms(nodes []Node, exAtoms []*translate.LinearAtom) []*translate.LinearAtom {
+	out := make([]*translate.LinearAtom, len(exAtoms))
+	for k, ex := range exAtoms {
+		w := make([]float64, len(nodes))
+		for g := range nodes {
+			s := 0.0
+			for _, i := range nodes[g].Tuples {
+				s += ex.W[i]
+			}
+			w[g] = s / float64(len(nodes[g].Tuples))
+		}
+		out[k] = &translate.LinearAtom{W: w, Op: ex.Op, RHS: ex.RHS, Source: ex.Source}
+	}
+	return out
+}
+
+// pinSet validates Require into a lookup set.
+func pinSet(n int, require []int) (map[int]bool, error) {
+	if len(require) == 0 {
+		return nil, nil
+	}
+	pins := make(map[int]bool, len(require))
+	for _, i := range require {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("sketch: pinned candidate %d out of range [0,%d)", i, n)
+		}
+		pins[i] = true
+	}
+	return pins, nil
+}
+
+// pinCount counts the pinned candidates a node's subtree covers: the
+// node's multiplicity lower bound at every sketch level.
+func pinCount(tuples []int, pins map[int]bool) int {
+	if len(pins) == 0 {
+		return 0
+	}
+	c := 0
+	for _, i := range tuples {
+		if pins[i] {
+			c++
+		}
+	}
+	return c
+}
+
+// acquireTree fetches the partition tree from the cache or builds (and
+// caches) it. The cache key fingerprints the candidate rows, so any
+// change to the backing data misses and the stale tree ages out.
+// CacheHit reflects the tree this call returns: a retry that rebuilds
+// clears a hit recorded by an earlier attempt.
+func acquireTree(inst *search.Instance, opts Options, res *Result) *Tree {
+	res.CacheHit = false
+	if opts.Cache == nil {
+		return BuildTree(inst, opts)
+	}
+	key := Key{
+		Fingerprint: Fingerprint(inst.Rows),
+		Attrs:       attrsKey(partitionAttrs(inst)),
+		Tau:         effectiveTau(len(inst.Rows), opts),
+		Depth:       opts.depth(),
+		Seed:        opts.Seed,
+	}
+	if t, ok := opts.Cache.Get(key); ok {
+		res.CacheHit = true
+		return t
+	}
+	t := BuildTree(inst, opts)
+	opts.Cache.Put(key, t)
+	return t
+}
+
+func attrsKey(attrs []int) string {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = strconv.Itoa(a)
+	}
+	return strings.Join(parts, ",")
+}
+
+// descend runs the sketch at every level of the tree: one MILP over the
+// root representatives first, then each selected node's multiplicity is
+// re-solved over its children's representatives against residual
+// constraint right-hand sides — the same residual scheme refine applies
+// to real tuples, applied to representatives level by level. Only nodes
+// chosen at the level above are descended into. Returns the leaf
+// multiplicities together with the query atoms weighted over the leaf
+// representatives (what refine consumes).
+func descend(inst *search.Instance, tree *Tree, fullAtoms, exAtoms []*translate.LinearAtom, pins map[int]bool, opts Options, deadline time.Time, res *Result) (y []int, leafAtoms []*translate.LinearAtom, infeasible bool, err error) {
+	levelAtoms := make([][]*translate.LinearAtom, tree.Depth)
+	levelObjW := make([][]float64, tree.Depth)
+	for l, nodes := range tree.Levels {
+		reps := make([]schema.Row, len(nodes))
+		for i := range nodes {
+			reps[i] = nodes[i].Rep
+		}
+		atoms, _, err := translate.ConjunctiveAtoms(inst.Analysis, reps)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if len(atoms) != len(inst.Atoms) {
+			return nil, nil, false, fmt.Errorf("sketch: internal error: %d representative atoms for %d instance atoms", len(atoms), len(inst.Atoms))
+		}
+		atoms = append(atoms, nodeExclusionAtoms(nodes, exAtoms)...)
+		w, _, err := translate.ObjectiveWeights(inst.Analysis, reps)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		levelAtoms[l], levelObjW[l] = atoms, w
+	}
+	y, infeasible, err = rootSolve(inst, tree.Levels[0], levelAtoms[0], levelObjW[0], pins, opts, deadline, res)
+	if err != nil || infeasible || y == nil {
+		return nil, nil, infeasible, err
+	}
+	for l := 1; l < tree.Depth; l++ {
+		y = pushLevel(inst, tree, l, fullAtoms, levelAtoms, levelObjW, y, pins, opts, deadline, res)
+	}
+	return y, levelAtoms[tree.Depth-1], false, nil
+}
+
+// jointCap bounds the variable count of a joint per-level MILP (the
+// union of all active nodes' children); beyond it pushLevel falls back
+// to per-parent residual solves, which stay tiny regardless of how
+// many nodes the level above selected.
+const jointCap = 4096
+
+// rootSolve builds and solves the top-level sketch MILP: one integer
+// variable per root node (the representative's multiplicity, capped at
+// the subtree's tuple capacity and floored at the subtree's pinned
+// count), the query's linear atoms re-weighted over the root
+// representatives, and the affine objective likewise.
+func rootSolve(inst *search.Instance, nodes []Node, atoms []*translate.LinearAtom, objW []float64, pins map[int]bool, opts Options, deadline time.Time, res *Result) (y []int, infeasible bool, err error) {
+	G := len(nodes)
 	p := lp.NewProblem(G)
 	for g := 0; g < G; g++ {
 		up := lp.Inf
 		if inst.MaxMult > 0 {
-			up = float64(len(part.Groups[g]) * inst.MaxMult)
+			up = float64(len(nodes[g].Tuples) * inst.MaxMult)
 		}
-		if err := p.SetBounds(g, 0, up); err != nil {
-			return nil, nil, false, err
+		if err := p.SetBounds(g, float64(pinCount(nodes[g].Tuples, pins)), up); err != nil {
+			return nil, false, err
 		}
 	}
-	if err := p.SetObjective(repW, objSense(inst)); err != nil {
-		return nil, nil, false, err
+	if err := p.SetObjective(objW, objSense(inst)); err != nil {
+		return nil, false, err
 	}
-	for _, at := range repAtoms {
+	for _, at := range atoms {
 		var coefs []lp.Coef
 		for g, w := range at.W {
 			if w != 0 {
@@ -178,7 +434,7 @@ func sketchSolve(inst *search.Instance, part *Partitioning, opts Options, deadli
 			}
 		}
 		if _, err := p.AddConstraint(coefs, at.Op, at.RHS); err != nil {
-			return nil, nil, false, err
+			return nil, false, err
 		}
 	}
 	mp := milp.NewProblem(p)
@@ -190,18 +446,148 @@ func sketchSolve(inst *search.Instance, part *Partitioning, opts Options, deadli
 	res.LPIters += sol.LPIters
 	switch sol.Status {
 	case milp.StatusInfeasible:
-		return nil, nil, true, nil
+		return nil, true, nil
 	case milp.StatusUnbounded:
-		return nil, nil, false, fmt.Errorf("sketch: objective is unbounded over representatives (add constraints or REPEAT)")
+		return nil, false, fmt.Errorf("sketch: objective is unbounded over representatives (add constraints or REPEAT)")
 	}
 	if sol.X == nil {
-		return nil, nil, false, nil
+		return nil, false, nil
 	}
 	y = make([]int, G)
 	for g := 0; g < G; g++ {
 		y[g] = int(math.Round(sol.X[g]))
 	}
-	return y, repAtoms, false, nil
+	return y, false, nil
+}
+
+// pushLevel distributes the multiplicities chosen at level l-1 over the
+// nodes of level l, descending only into subtrees the level above
+// selected. It first attempts one joint MILP over the union of every
+// active parent's children against the full constraints — the
+// highest-quality push-down, and still tiny because the union is
+// bounded by the active count times the fanout. When that union
+// exceeds jointCap or the joint solve fails, each active parent
+// (largest multiplicity first) instead gets its own MILP over its
+// children whose constraint right-hand sides are the query atoms minus
+// every other node's current contribution; a parent whose sub-MILP
+// fails falls back to a greedy spread over its children, nearest
+// representative first, honoring pinned lower bounds.
+func pushLevel(inst *search.Instance, tree *Tree, l int, atoms []*translate.LinearAtom, levelAtoms [][]*translate.LinearAtom, levelObjW [][]float64, parentMult []int, pins map[int]bool, opts Options, deadline time.Time, res *Result) []int {
+	parents := tree.Levels[l-1]
+	children := tree.Levels[l]
+	pAtoms, cAtoms := levelAtoms[l-1], levelAtoms[l]
+	childMult := make([]int, len(children))
+
+	var union []int
+	for g, m := range parentMult {
+		if m > 0 {
+			union = append(union, parents[g].Children...)
+		}
+	}
+	if len(union) <= jointCap {
+		sort.Ints(union)
+		residual := make([]float64, len(atoms))
+		for k := range atoms {
+			residual[k] = atoms[k].RHS
+		}
+		if residualSolve(inst, union, nodeBound(inst, children, pins), cAtoms, levelObjW[l], residual, childMult, opts, deadline, res) {
+			return childMult
+		}
+		for _, ci := range union {
+			childMult[ci] = 0
+		}
+	}
+
+	// cur[k]: every node's current contribution to atom k — the
+	// parent's own representative until that parent is pushed down, its
+	// children's representatives afterwards.
+	cur := make([]float64, len(atoms))
+	grpSum := make([][]float64, len(parents))
+	for g := range parents {
+		grpSum[g] = make([]float64, len(atoms))
+		if parentMult[g] == 0 {
+			continue
+		}
+		for k := range atoms {
+			grpSum[g][k] = pAtoms[k].W[g] * float64(parentMult[g])
+			cur[k] += grpSum[g][k]
+		}
+	}
+	var active []int
+	for g, m := range parentMult {
+		if m > 0 {
+			active = append(active, g)
+		}
+	}
+	sort.SliceStable(active, func(i, j int) bool {
+		if parentMult[active[i]] != parentMult[active[j]] {
+			return parentMult[active[i]] > parentMult[active[j]]
+		}
+		return active[i] < active[j]
+	})
+	// Scales feed only the greedy fallback's distance metric, and cost a
+	// full candidate scan — computed on first use.
+	var scales []float64
+	for _, g := range active {
+		residual := make([]float64, len(atoms))
+		for k := range atoms {
+			residual[k] = atoms[k].RHS - (cur[k] - grpSum[g][k])
+		}
+		if !residualSolve(inst, parents[g].Children, nodeBound(inst, children, pins), cAtoms, levelObjW[l], residual, childMult, opts, deadline, res) {
+			if scales == nil {
+				scales = attrScales(inst, tree.Attrs)
+			}
+			greedySpread(inst, children, parents[g], parentMult[g], childMult, pins, scales, tree.Attrs)
+		}
+		for k := range atoms {
+			s := 0.0
+			for _, ci := range parents[g].Children {
+				if childMult[ci] != 0 {
+					s += cAtoms[k].W[ci] * float64(childMult[ci])
+				}
+			}
+			cur[k] += s - grpSum[g][k]
+			grpSum[g][k] = s
+		}
+	}
+	return childMult
+}
+
+// nodeBound is the push-down bound function over a level's nodes:
+// floored at the subtree's pinned count, capped at the subtree's tuple
+// capacity.
+func nodeBound(inst *search.Instance, nodes []Node, pins map[int]bool) func(int) (float64, float64) {
+	return func(ci int) (float64, float64) {
+		up := lp.Inf
+		if inst.MaxMult > 0 {
+			up = float64(len(nodes[ci].Tuples) * inst.MaxMult)
+		}
+		return float64(pinCount(nodes[ci].Tuples, pins)), up
+	}
+}
+
+// greedySpread hands a parent's units to its children when the
+// push-down MILP fails: every child first receives its pinned lower
+// bound, then the remaining units go round-robin to the children whose
+// representatives are nearest the parent's in normalized attribute
+// space (the same allocation the per-leaf repair uses).
+func greedySpread(inst *search.Instance, children []Node, parent Node, units int, childMult []int, pins map[int]bool, scales []float64, attrs []int) {
+	floor := func(ci int) int { return pinCount(children[ci].Tuples, pins) }
+	capacity := func(ci int) int {
+		if inst.MaxMult > 0 {
+			return len(children[ci].Tuples) * inst.MaxMult
+		}
+		return max(units, 1)
+	}
+	dist := func(ci int) float64 {
+		d := 0.0
+		for ai, a := range attrs {
+			diff := (numAt(children[ci].Rep, a) - numAt(parent.Rep, a)) / scales[ai]
+			d += diff * diff
+		}
+		return d
+	}
+	allocate(parent.Children, units, floor, capacity, dist, childMult)
 }
 
 // objSense maps the query objective to an LP sense (minimize-zero for

@@ -1,0 +1,118 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/schema"
+	"repro/internal/search"
+)
+
+// Node is one partition-tree node. A leaf holds a τ-bounded group of
+// candidate tuples; an internal node groups nodes of the next deeper
+// level. Every node covers the candidate tuples of its whole subtree
+// and carries a representative over them (mean for numeric columns,
+// mode otherwise), so a sketch MILP can run at any level of the tree.
+type Node struct {
+	Children []int      // indexes into the next-deeper level; nil for leaves
+	Tuples   []int      // covered candidate indexes, sorted ascending
+	Rep      schema.Row // representative tuple over Tuples
+}
+
+// Tree is a hierarchical partitioning of the candidates (the PVLDB 2023
+// follow-up's partition tree): Levels[0] holds the roots the top-level
+// sketch MILP runs over, Levels[Depth-1] the τ-bounded leaves the final
+// refine step resolves into real tuples. With P leaves and depth d the
+// builder aims each level at roughly P^((ℓ+1)/d) nodes, so the top
+// level stays around the d-th root of P however large the relation
+// grows.
+//
+// A Tree is immutable after BuildTree; the partition cache shares one
+// tree across concurrent evaluations.
+type Tree struct {
+	Attrs  []int    // column ordinals the splitter used
+	Tau    int      // leaf size bound
+	Depth  int      // number of levels (== len(Levels)); 1 = flat
+	Levels [][]Node // Levels[0] = roots … Levels[Depth-1] = leaves
+}
+
+// Leaves returns the deepest level: the τ-bounded partitions.
+func (t *Tree) Leaves() []Node { return t.Levels[t.Depth-1] }
+
+// flatten returns the single-level view of the tree: the same leaf
+// nodes (shared, not copied — a Tree is immutable) under depth 1. The
+// infeasible-retry path uses it to fall back from hierarchical to flat
+// without re-running the offline partitioning.
+func (t *Tree) flatten() *Tree {
+	return &Tree{Attrs: t.Attrs, Tau: t.Tau, Depth: 1, Levels: [][]Node{t.Leaves()}}
+}
+
+// leafPartitioning adapts the leaf level to the flat Partitioning view
+// the refine step consumes.
+func (t *Tree) leafPartitioning() *Partitioning {
+	leaves := t.Leaves()
+	p := &Partitioning{Attrs: t.Attrs, Tau: t.Tau}
+	for i := range leaves {
+		p.Groups = append(p.Groups, leaves[i].Tuples)
+		p.Reps = append(p.Reps, leaves[i].Rep)
+	}
+	return p
+}
+
+// BuildTree partitions the candidates into τ-bounded leaves and stacks
+// up to depth-1 grouping levels on top. Each grouping step runs the
+// same median splitter over the child representatives with a fanout of
+// ceil(P^(1/depth)), shrinking the node count by that factor per level;
+// building stops early once another level could not shrink the top.
+func BuildTree(inst *search.Instance, opts Options) *Tree {
+	base := Partition(inst, opts)
+	t := &Tree{Attrs: base.Attrs, Tau: base.Tau, Depth: 1}
+	leaves := make([]Node, len(base.Groups))
+	for i, g := range base.Groups {
+		leaves[i] = Node{Tuples: g, Rep: base.Reps[i]}
+	}
+	t.Levels = [][]Node{leaves}
+	depth := opts.depth()
+	if depth <= 1 || len(leaves) == 0 {
+		return t
+	}
+	// The median splitter halves groups until they fit the bound, so
+	// group sizes land in (bound/2, bound] and the group count can
+	// overshoot the ideal by up to 2×. Doubling the bound keeps every
+	// level at or below its P^((ℓ+1)/depth) target.
+	fanout := 2 * int(math.Ceil(math.Pow(float64(len(leaves)), 1/float64(depth))))
+	if fanout < 2 {
+		fanout = 2
+	}
+	for t.Depth < depth && len(t.Levels[0]) > fanout {
+		parents := groupLevel(inst, t.Levels[0], t.Attrs, fanout, opts.Seed)
+		t.Levels = append([][]Node{parents}, t.Levels...)
+		t.Depth++
+	}
+	return t
+}
+
+// groupLevel builds one level of internal nodes over children: the
+// children's representatives are median-split into groups of at most
+// fanout, and each group becomes a parent whose representative is
+// recomputed over the union of covered tuples (a tuple-weighted mean,
+// more faithful than averaging child representatives).
+func groupLevel(inst *search.Instance, children []Node, attrs []int, fanout int, seed int64) []Node {
+	repRows := make([]schema.Row, len(children))
+	all := make([]int, len(children))
+	for i := range children {
+		repRows[i] = children[i].Rep
+		all[i] = i
+	}
+	groups := medianSplit(repRows, all, shuffledAttrs(attrs, seed), fanout)
+	parents := make([]Node, len(groups))
+	for pi, g := range groups {
+		var tuples []int
+		for _, ci := range g {
+			tuples = append(tuples, children[ci].Tuples...)
+		}
+		sort.Ints(tuples)
+		parents[pi] = Node{Children: g, Tuples: tuples, Rep: representative(inst.Rows, tuples)}
+	}
+	return parents
+}

@@ -33,7 +33,13 @@
 // by partition with tiny sub-MILPs (greedy repair when a partition is
 // infeasible or over budget). Select it with WithStrategy(SketchRefine)
 // or let Auto choose it above a few thousand candidates; tune it with
-// WithSketchPartitionSize / WithSketchPartitions.
+// WithSketchPartitionSize / WithSketchPartitions. WithSketchDepth(d)
+// generalizes the partitioning to a partition tree (PVLDB 2023,
+// "Scaling Package Queries to a Billion Tuples"): the sketch recurses
+// level by level so the top MILP stays around the d-th root of the
+// partition count. Partition trees are cached across queries in the
+// System's shared LRU (keyed by a fingerprint of the candidate rows, so
+// writes invalidate automatically); WithSketchCache(false) opts out.
 //
 // Typical use:
 //
@@ -52,20 +58,32 @@ import (
 	"repro/internal/explore"
 	"repro/internal/minidb"
 	"repro/internal/paql"
+	"repro/internal/sketch"
 	"repro/internal/template"
 	"repro/internal/viz"
 )
 
 // System is a PackageBuilder instance: an embedded database plus the
 // package-query engine. Safe for concurrent readers.
+//
+// The system owns a shared SketchRefine partition-tree cache: repeated
+// package queries over unchanged data reuse the offline partitioning
+// instead of rebuilding it (the cache key fingerprints the candidate
+// rows, so data changes invalidate stale trees automatically). Disable
+// it per query with WithSketchCache(false).
 type System struct {
-	db *minidb.DB
+	db          *minidb.DB
+	sketchCache *sketch.Cache
 }
 
 // New creates an empty system.
 func New() *System {
-	return &System{db: minidb.New()}
+	return &System{db: minidb.New(), sketchCache: sketch.NewCache(0)}
 }
+
+// SketchCache exposes the system's shared partition-tree cache (for
+// stats inspection and explicit clearing).
+func (s *System) SketchCache() *sketch.Cache { return s.sketchCache }
 
 // DB exposes the embedded relational engine (DDL, SQL, CSV loading).
 func (s *System) DB() *minidb.DB { return s.db }
@@ -145,22 +163,44 @@ func WithSketchPartitions(n int) Option {
 	return func(o *core.Options) { o.SketchPartitions = n }
 }
 
-func buildOptions(opts []Option) core.Options {
+// WithSketchDepth sets the SketchRefine partition-tree depth: 1 = flat,
+// ≥ 2 recurses the sketch over partitions of partitions so the
+// top-level MILP stays tiny at any scale.
+func WithSketchDepth(d int) Option {
+	return func(o *core.Options) { o.SketchDepth = d }
+}
+
+// WithSketchCache enables or disables the system's shared
+// partition-tree cache for this query (enabled by default).
+func WithSketchCache(enabled bool) Option {
+	return func(o *core.Options) { o.SketchNoCache = !enabled }
+}
+
+func (s *System) buildOptions(opts []Option) core.Options {
 	var o core.Options
 	for _, fn := range opts {
 		fn(&o)
+	}
+	if o.SketchCache == nil && !o.SketchNoCache {
+		o.SketchCache = s.sketchCache
 	}
 	return o
 }
 
 // Query evaluates a PaQL query.
 func (s *System) Query(paqlText string, opts ...Option) (*Result, error) {
-	return core.Evaluate(s.db, paqlText, buildOptions(opts))
+	return core.Evaluate(s.db, paqlText, s.buildOptions(opts))
 }
 
 // Prepare parses and binds a PaQL query for repeated evaluation.
+// Repeated prep.Run calls share the system's partition-tree cache.
 func (s *System) Prepare(paqlText string) (*core.Prepared, error) {
-	return core.Prepare(s.db, paqlText)
+	prep, err := core.Prepare(s.db, paqlText)
+	if err != nil {
+		return nil, err
+	}
+	prep.SketchCache = s.sketchCache
+	return prep, nil
 }
 
 // Parse parses PaQL without evaluating it.
@@ -171,7 +211,7 @@ func (s *System) Parse(paqlText string) (*paql.Query, error) {
 // Explore opens an adaptive-exploration session (§3.3): evaluate,
 // pin tuples, request replacements.
 func (s *System) Explore(paqlText string, opts ...Option) (*explore.Session, error) {
-	return explore.NewSession(s.db, paqlText, buildOptions(opts))
+	return explore.NewSession(s.db, paqlText, s.buildOptions(opts))
 }
 
 // Template converts PaQL text into an editable package template (§3.1).
