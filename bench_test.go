@@ -9,6 +9,7 @@ package packagebuilder
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -289,6 +290,46 @@ func BenchmarkE9_HierarchicalSketch(b *testing.B) {
 		cache := sketch.NewCache(0)
 		opts := core.Options{Strategy: core.SketchRefineStrategy, Seed: 1, SketchDepth: 2, SketchCache: cache}
 		if _, err := prep.Run(opts); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.Run(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE10_ParallelPersist compares the serial SketchRefine
+// pipeline against the parallel one (identical results, divided work)
+// and against a disk-warm cold start that loads the partition tree from
+// the on-disk store instead of rebuilding. cmd/pbench -exp e10 prints
+// the matching table with the 1M and 10M points.
+func BenchmarkE10_ParallelPersist(b *testing.B) {
+	n := 20000
+	prep := benchPrep(b, n)
+	base := core.Options{Strategy: core.SketchRefineStrategy, Seed: 1, SketchDepth: 2}
+	b.Run(fmt.Sprintf("serial/n=%d", n), func(b *testing.B) {
+		opts := base
+		opts.SketchParallelism = 1
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.Run(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("parallel/n=%d/workers=%d", n, runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.Run(base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("disk-warm/n=%d", n), func(b *testing.B) {
+		opts := base
+		opts.SketchPersistDir = b.TempDir()
+		if _, err := prep.Run(opts); err != nil { // cold run writes the tree
 			b.Fatal(err)
 		}
 		b.ResetTimer()

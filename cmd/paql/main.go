@@ -18,6 +18,8 @@
 //	paql -gen recipes:1000:1 -strategy local-search -limit 3 -q "..."
 //	paql -gen recipes:100000:1 -strategy sketch -sketch-size 128 -q "..."
 //	paql -gen recipes:1000000:1 -strategy sketch -sketch-depth 2 -q "..."
+//	paql -gen recipes:1000000:1 -strategy sketch -sketch-depth 2 \
+//	     -sketch-dir trees -q "..."     # re-run loads the partition tree from disk
 package main
 
 import (
@@ -51,6 +53,8 @@ func main() {
 	sketchParts := flag.Int("sketch-partitions", 0, "sketch-refine partition count target (0 = off)")
 	sketchDepth := flag.Int("sketch-depth", 0, "sketch-refine partition-tree depth (0/1 = flat, >=2 hierarchical)")
 	sketchCache := flag.Bool("sketch-cache", true, "cache sketch-refine partition trees across REPL queries (one-shot runs never cache)")
+	sketchPar := flag.Int("sketch-par", 0, "sketch-refine worker count (0 = one per CPU, 1 = serial)")
+	sketchDir := flag.String("sketch-dir", "", "persist sketch-refine partition trees to this directory (cold starts load instead of rebuilding)")
 	flag.Parse()
 
 	sys := pb.New()
@@ -83,13 +87,18 @@ func main() {
 		strategy: *strategy, limit: *limit, diverse: *diverse, seed: *seed,
 		sketchSize: *sketchSize, sketchParts: *sketchParts,
 		sketchDepth: *sketchDepth, sketchCache: *sketchCache,
+		sketchPar: *sketchPar, sketchDir: *sketchDir,
 	}
 	if text == "" {
 		repl(sys, cli)
 		return
 	}
 	// One-shot runs exit after a single query: fingerprinting and
-	// storing a partition tree would be pure overhead.
+	// storing a partition tree would be pure overhead, and writing tree
+	// files to disk as a side effect of a single CLI invocation would
+	// surprise. Both stay off — except persistence when the user named
+	// a directory with -sketch-dir, which is exactly the ask to reuse
+	// the tree across one-shot runs.
 	cli.sketchCache = false
 	runQuery(sys, text, cli)
 }
@@ -104,6 +113,8 @@ type cliOpts struct {
 	sketchParts int
 	sketchDepth int
 	sketchCache bool
+	sketchPar   int
+	sketchDir   string
 }
 
 func runQuery(sys *pb.System, text string, cli cliOpts) {
@@ -138,6 +149,12 @@ func buildOpts(cli cliOpts) ([]pb.Option, error) {
 	}
 	if cli.sketchDepth > 0 {
 		opts = append(opts, pb.WithSketchDepth(cli.sketchDepth))
+	}
+	if cli.sketchPar > 0 {
+		opts = append(opts, pb.WithSketchParallelism(cli.sketchPar))
+	}
+	if cli.sketchDir != "" {
+		opts = append(opts, pb.WithSketchPersistDir(cli.sketchDir))
 	}
 	opts = append(opts, pb.WithSketchCache(cli.sketchCache))
 	return opts, nil

@@ -44,15 +44,20 @@ const maxBodyBytes = 1 << 20
 type server struct {
 	db    *minidb.DB
 	cache *sketch.Cache
+	// persistDir, when non-empty, backs the cache with an on-disk tree
+	// store (-sketch-dir): a server restart then skips the offline
+	// partitioning step. It is a server flag, never request data — a
+	// client must not choose where the server writes.
+	persistDir string
 
 	mu  sync.RWMutex
 	ses *explore.Session // one demo session, like the booth kiosk
 }
 
 // newServer builds a server over a loaded database with an empty
-// partition-tree cache.
-func newServer(db *minidb.DB) *server {
-	return &server{db: db, cache: sketch.NewCache(0)}
+// partition-tree cache, persisting trees under persistDir when set.
+func newServer(db *minidb.DB, persistDir string) *server {
+	return &server{db: db, cache: sketch.NewCache(0), persistDir: persistDir}
 }
 
 // session returns the current exploration session or an error when no
@@ -70,13 +75,14 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	n := flag.Int("n", 500, "recipe count")
 	seed := flag.Int64("seed", 42, "dataset seed")
+	sketchDir := flag.String("sketch-dir", "", "persist sketch-refine partition trees to this directory (survives restarts)")
 	flag.Parse()
 
 	db := minidb.New()
 	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: *n, Seed: *seed}); err != nil {
 		log.Fatal(err)
 	}
-	s := newServer(db)
+	s := newServer(db, *sketchDir)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -141,6 +147,8 @@ func (s *server) packageJSON(ses *explore.Session, p *core.Package, stats *core.
 			out.Stats["sketchLevels"] = stats.SketchLevels
 			out.Stats["sketchTopVars"] = stats.SketchTopVars
 			out.Stats["sketchCacheHit"] = stats.SketchCacheHit
+			out.Stats["sketchTreeLoaded"] = stats.SketchTreeLoaded
+			out.Stats["sketchWorkers"] = stats.SketchWorkers
 			cs := s.cache.Stats()
 			out.Stats["sketchCacheHits"] = cs.Hits
 			out.Stats["sketchCacheMisses"] = cs.Misses
@@ -160,12 +168,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Query       string `json:"query"`
 		Strategy    string `json:"strategy"`    // "", "auto", "solver", "sketch-refine", ...
 		SketchDepth int    `json:"sketchDepth"` // 0/1 = flat, >=2 hierarchical
+		SketchPar   int    `json:"sketchPar"`   // sketch workers: 0 = one per CPU, 1 = serial
 	}
 	if err := decodeJSON(w, r, &req); err != nil {
 		httpErr(w, err)
 		return
 	}
-	opts := core.Options{Seed: 1, SketchCache: s.cache, SketchDepth: req.SketchDepth}
+	opts := core.Options{Seed: 1, SketchCache: s.cache, SketchDepth: req.SketchDepth,
+		SketchParallelism: req.SketchPar, SketchPersistDir: s.persistDir}
 	if req.Strategy != "" {
 		st, err := core.ParseStrategy(req.Strategy)
 		if err != nil {
@@ -265,7 +275,7 @@ func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	// prep.Run is a pure read over the prepared query and the database;
 	// it needs no lock, so summaries render concurrently too.
-	res, err := prep.Run(core.Options{Limit: 9, Seed: 1, SketchCache: s.cache})
+	res, err := prep.Run(core.Options{Limit: 9, Seed: 1, SketchCache: s.cache, SketchPersistDir: s.persistDir})
 	if err != nil {
 		httpErr(w, err)
 		return
@@ -354,6 +364,8 @@ function render(p) {
       sk = ' (' + p.stats.partitions + ' partitions';
       if (p.stats.sketchLevels > 1) sk += ', ' + p.stats.sketchLevels + ' levels';
       if (p.stats.sketchCacheHit) sk += ', cached tree';
+      if (p.stats.sketchTreeLoaded) sk += ', tree from disk';
+      if (p.stats.sketchWorkers > 1) sk += ', ' + p.stats.sketchWorkers + ' workers';
       sk += ')';
     }
     stats = '\nstrategy: ' + p.stats.strategy + sk +

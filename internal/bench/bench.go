@@ -13,6 +13,7 @@
 //	E7  §5      diverse package results beat top-k on distance
 //	E8  follow-up  SketchRefine: partitioned MILP vs exact at scale
 //	E9  follow-up  hierarchical SketchRefine + cross-query partition cache
+//	E10 follow-up  parallel SketchRefine pipeline + on-disk partition trees
 //
 // Each Run* prints an aligned table to cfg.Out; EXPERIMENTS.md records
 // the measured shapes against the paper's claims.
@@ -84,7 +85,7 @@ func RunAll(cfg Config) error {
 	}{
 		{"F1", RunF1}, {"E1", RunE1}, {"E2", RunE2}, {"E3", RunE3},
 		{"E4", RunE4}, {"E5", RunE5}, {"E6", RunE6}, {"E7", RunE7},
-		{"E8", RunE8}, {"E9", RunE9},
+		{"E8", RunE8}, {"E9", RunE9}, {"E10", RunE10},
 	}
 	for _, s := range steps {
 		if err := s.fn(cfg); err != nil {
@@ -120,8 +121,10 @@ func Run(id string, cfg Config) error {
 		return RunE8(cfg)
 	case "e9", "E9":
 		return RunE9(cfg)
+	case "e10", "E10":
+		return RunE10(cfg)
 	}
-	return fmt.Errorf("bench: unknown experiment %q (f1, e1..e9, all)", id)
+	return fmt.Errorf("bench: unknown experiment %q (f1, e1..e10, all)", id)
 }
 
 // evalTimed runs a query under options and reports elapsed wall time.

@@ -22,6 +22,7 @@ func TestExperimentsQuick(t *testing.T) {
 		{"e6", []string{"REPEAT", "max-mult", "feasible"}},
 		{"e7", []string{"selection", "min-distance", "diverse"}},
 		{"e9", []string{"hierarchical", "top-vars", "warm cache", "true"}},
+		{"e10", []string{"parallel", "speedup-vs-serial", "disk-warm cold start", "loaded"}},
 	}
 	for _, tc := range cases {
 		tc := tc

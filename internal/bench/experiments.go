@@ -2,7 +2,11 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"math"
+	"os"
+	"runtime"
+	"slices"
 	"strings"
 	"time"
 
@@ -548,5 +552,100 @@ func RunE9(cfg Config) error {
 		return err
 	}
 	fmt.Fprintln(cfg.Out, "(claim check: the top-level MILP shrinks to ~√P variables with a small gap, and the warm-cache run drops the offline partitioning cost)")
+	return nil
+}
+
+// RunE10 measures the parallelized SketchRefine pipeline and the
+// on-disk partition-tree store: the same build + descend + refine run
+// fully serial and with one worker per CPU (identical packages — the
+// workers only divide the work), then with persistence on, where a
+// cold start in a fresh engine loads the tree from disk instead of
+// re-running the offline partitioning.
+func RunE10(cfg Config) error {
+	sizes := []int{1000000, 10000000}
+	tau := 256
+	if cfg.Quick {
+		sizes = []int{20000, 50000}
+		tau = 64
+	}
+	workers := runtime.GOMAXPROCS(0)
+	fmt.Fprintf(cfg.Out, "== E10: parallel SketchRefine + on-disk partition trees (meal query, τ=%d, depth 2, %d CPUs) ==\n", tau, workers)
+	tw := newTable(cfg.Out, "n", "variant", "time", "objective", "workers", "tree", "speedup-vs-serial")
+	for _, n := range sizes {
+		if err := runE10Size(cfg, tw, n, tau, workers); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(cfg.Out, "(claim check: parallel build+refine returns the identical package at a fraction of the serial time, and the disk-warm run loads the tree instead of rebuilding)")
+	return nil
+}
+
+// runE10Size runs the E10 variants at one relation size with its own
+// temporary tree store.
+func runE10Size(cfg Config, tw io.Writer, n, tau, workers int) error {
+	db, err := recipesDB(n, cfg.seed())
+	if err != nil {
+		return err
+	}
+	prep, err := core.Prepare(db, MealQuery)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "pbench-e10-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	base := core.Options{Strategy: core.SketchRefineStrategy, Seed: cfg.seed(),
+		SketchPartitionSize: tau, SketchDepth: 2}
+	type variant struct {
+		name string
+		opts core.Options
+	}
+	serial, parallel, cold, warm := base, base, base, base
+	serial.SketchParallelism = 1
+	cold.SketchPersistDir = dir
+	warm.SketchPersistDir = dir
+	variants := []variant{
+		{"serial", serial},
+		{fmt.Sprintf("parallel ×%d", workers), parallel},
+		{"parallel + persist (cold)", cold},
+		{"disk-warm cold start", warm},
+	}
+	var serialTime time.Duration
+	var serialMult []int
+	for _, v := range variants {
+		start := time.Now()
+		res, err := prep.Run(v.opts)
+		elapsed := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("n=%d %s: %w", n, v.name, err)
+		}
+		if len(res.Packages) == 0 {
+			fmt.Fprintf(tw, "%d\t%s\t%s\t(no package)\t%d\t-\t-\n",
+				n, v.name, ms(elapsed), res.Stats.SketchWorkers)
+			continue
+		}
+		if v.name == "serial" {
+			serialTime = elapsed
+			serialMult = res.Packages[0].Mult
+		} else if serialMult != nil && !slices.Equal(serialMult, res.Packages[0].Mult) {
+			return fmt.Errorf("n=%d %s: package diverged from serial", n, v.name)
+		}
+		tree := "built"
+		if res.Stats.SketchTreeLoaded {
+			tree = "loaded"
+		}
+		speedup := "-"
+		if serialTime > 0 && elapsed > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(serialTime)/float64(elapsed))
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%.0f\t%d\t%s\t%s\n",
+			n, v.name, ms(elapsed), res.Packages[0].Objective,
+			res.Stats.SketchWorkers, tree, speedup)
+	}
 	return nil
 }

@@ -54,6 +54,7 @@ const (
 	SketchRefineStrategy
 )
 
+// String returns the strategy's CLI/API name (e.g. "sketch-refine").
 func (s Strategy) String() string {
 	switch s {
 	case Auto:
@@ -138,6 +139,17 @@ type Options struct {
 	// SketchNoCache suppresses the engine-level shared cache injection
 	// (ablation / -sketch-cache=false).
 	SketchNoCache bool
+	// SketchParallelism caps the workers SketchRefine's offline
+	// partitioning and per-partition solves fan out across: 0 = one per
+	// CPU, 1 = fully serial. Results are identical at every setting.
+	SketchParallelism int
+	// SketchPersistDir, when non-empty, persists SketchRefine partition
+	// trees to this directory as an on-disk tier under the in-memory
+	// cache: trees are saved after every build and loaded on a cache
+	// miss, so a cold start (new process, empty cache) skips the
+	// offline partitioning step too. Stale or corrupted files fall back
+	// to a rebuild.
+	SketchPersistDir string
 	// Require lists candidate indexes (positions in the candidate set,
 	// not base-table row ids) that must appear in every package —
 	// adaptive exploration (§3.3) pins kept tuples through this.
@@ -175,24 +187,26 @@ func (p *Package) Size() int {
 
 // Stats describes how an evaluation went.
 type Stats struct {
-	Candidates     int          // tuples passing base constraints
-	Bounds         prune.Bounds // §4.1 cardinality bounds
-	SpacePruned    *big.Int     // Σ C(n,k) within bounds (nil unless computed)
-	SpaceFull      *big.Int     // 2^n (nil unless computed)
-	Linear         bool         // MILP-translatable
-	Strategy       Strategy     // strategy actually used
-	Exact          bool         // result is provably optimal/complete
-	Nodes          int64        // search nodes or MILP B&B nodes
-	LPIters        int          // simplex iterations (solver)
-	SQLQueries     int          // replacement queries (local search)
-	Restarts       int          // local-search restarts
-	Partitions     int          // leaf partitions built (sketch-refine)
-	Repaired       int          // partitions greedily repaired (sketch-refine)
-	SketchLevels   int          // partition-tree levels used (sketch-refine; 1 = flat)
-	SketchTopVars  int          // variables in the top-level sketch MILP (sketch-refine)
-	SketchCacheHit bool         // partition tree served from the shared cache
-	Elapsed        time.Duration
-	Notes          []string // strategy decisions, fallbacks, caveats
+	Candidates       int          // tuples passing base constraints
+	Bounds           prune.Bounds // §4.1 cardinality bounds
+	SpacePruned      *big.Int     // Σ C(n,k) within bounds (nil unless computed)
+	SpaceFull        *big.Int     // 2^n (nil unless computed)
+	Linear           bool         // MILP-translatable
+	Strategy         Strategy     // strategy actually used
+	Exact            bool         // result is provably optimal/complete
+	Nodes            int64        // search nodes or MILP B&B nodes
+	LPIters          int          // simplex iterations (solver)
+	SQLQueries       int          // replacement queries (local search)
+	Restarts         int          // local-search restarts
+	Partitions       int          // leaf partitions built (sketch-refine)
+	Repaired         int          // partitions greedily repaired (sketch-refine)
+	SketchLevels     int          // partition-tree levels used (sketch-refine; 1 = flat)
+	SketchTopVars    int          // variables in the top-level sketch MILP (sketch-refine)
+	SketchCacheHit   bool         // partition tree served from the shared cache
+	SketchTreeLoaded bool         // partition tree loaded from the on-disk store
+	SketchWorkers    int          // workers the sketch-refine parallel phases used
+	Elapsed          time.Duration
+	Notes            []string // strategy decisions, fallbacks, caveats
 }
 
 // Result is the evaluation outcome.

@@ -239,6 +239,8 @@ func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, err
 		SolverNodes:      opts.SolverNodes,
 		Cache:            cache,
 		Require:          opts.Require,
+		Parallelism:      opts.SketchParallelism,
+		PersistDir:       opts.SketchPersistDir,
 	})
 	if err != nil {
 		return nil, err
@@ -248,13 +250,15 @@ func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, err
 	res.Stats.SketchLevels = sres.Levels
 	res.Stats.SketchTopVars = sres.TopVars
 	res.Stats.SketchCacheHit = sres.CacheHit
+	res.Stats.SketchTreeLoaded = sres.TreeLoaded
+	res.Stats.SketchWorkers = sres.Workers
 	res.Stats.Nodes += sres.Nodes
 	res.Stats.LPIters += sres.LPIters
 	res.Stats.Exact = false
 	res.Stats.Notes = append(res.Stats.Notes, sres.Notes...)
 	res.Stats.Notes = append(res.Stats.Notes, fmt.Sprintf(
 		"sketch-refine: %d leaf partitions (τ bound), %d levels, %d top-level vars%s, %d active, %d refined, %d repaired; objective gap unproven",
-		sres.Partitions, sres.Levels, sres.TopVars, cacheNote(sres.CacheHit), sres.Active, sres.Refined, sres.Repaired))
+		sres.Partitions, sres.Levels, sres.TopVars, cacheNote(sres.CacheHit, sres.TreeLoaded), sres.Active, sres.Refined, sres.Repaired))
 	if !sres.Feasible {
 		res.Stats.Notes = append(res.Stats.Notes,
 			"sketch-refine found no feasible package (the query may still be feasible; try -strategy solver)")
@@ -285,6 +289,8 @@ func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, err
 					Cache:            cache,
 					Require:          opts.Require,
 					Exclude:          exclude,
+					Parallelism:      opts.SketchParallelism,
+					PersistDir:       opts.SketchPersistDir,
 				})
 				if err != nil {
 					res.Stats.Notes = append(res.Stats.Notes,
@@ -318,9 +324,10 @@ func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, err
 					res.Stats.Notes = append(res.Stats.Notes, "sketch-refine: timeout reached before all requested packages")
 					break
 				}
-				// No cache: each perturbed (τ, seed) pair is near
-				// single-use and would evict hot trees from the shared
-				// LRU.
+				// No cache and no persistence: each perturbed (τ, seed)
+				// pair is near single-use — it would evict hot trees
+				// from the shared LRU and litter the store with files
+				// no later run asks for.
 				alt, err := sketch.Solve(p.Instance, sketch.Options{
 					MaxPartitionSize: baseTau + int(attempt),
 					Depth:            opts.SketchDepth,
@@ -328,6 +335,7 @@ func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, err
 					Timeout:          left,
 					SolverNodes:      opts.SolverNodes,
 					Require:          opts.Require,
+					Parallelism:      opts.SketchParallelism,
 				})
 				if err != nil {
 					// Deterministic errors would repeat across attempts;
@@ -390,9 +398,12 @@ func sortMultsByObjective(inst *search.Instance, mults [][]int) {
 	}
 }
 
-func cacheNote(hit bool) string {
-	if hit {
+func cacheNote(hit, loaded bool) string {
+	switch {
+	case hit:
 		return " (partition tree from cache)"
+	case loaded:
+		return " (partition tree from disk)"
 	}
 	return ""
 }

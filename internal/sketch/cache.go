@@ -58,6 +58,7 @@ type CacheStats struct {
 	Entries   int
 }
 
+// String renders the counters in the compact k=v form logs use.
 func (s CacheStats) String() string {
 	return fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d",
 		s.Hits, s.Misses, s.Evictions, s.Entries)

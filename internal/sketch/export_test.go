@@ -1,0 +1,5 @@
+package sketch
+
+// ParallelForTest exposes the scheduling helper to the external test
+// package.
+var ParallelForTest = parallelFor

@@ -1,0 +1,111 @@
+package sketch_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/sketch"
+)
+
+// TestParallelForCoversEveryIndexOnce exercises the scheduling helper
+// directly: every index must run exactly once at any worker count,
+// including degenerate ones.
+func TestParallelForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 3, 100} {
+			counts := make([]int32, n)
+			sketch.ParallelForTest(workers, n, func(i int) { counts[i]++ })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBuildDeterministic builds the same partition tree serially
+// and with many workers: the trees must be deeply equal — parallelism
+// divides the work, never the outcome.
+func TestParallelBuildDeterministic(t *testing.T) {
+	prep := recipesPrep(t, 5000)
+	serial := sketch.BuildTree(prep.Instance, sketch.Options{MaxPartitionSize: 16, Depth: 2, Seed: 7, Parallelism: 1})
+	parallel := sketch.BuildTree(prep.Instance, sketch.Options{MaxPartitionSize: 16, Depth: 2, Seed: 7, Parallelism: 8})
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel tree build diverged from serial")
+	}
+}
+
+// TestParallelSolveByteIdentical runs the full sketch pipeline serially
+// and with many workers at depths 1 and 2: the packages must be
+// byte-identical under the fixed seed (the acceptance bar for the
+// parallel pipeline), along with the objective and the refine stats.
+func TestParallelSolveByteIdentical(t *testing.T) {
+	prep := recipesPrep(t, 5000)
+	for _, depth := range []int{1, 2} {
+		serial, err := sketch.Solve(prep.Instance, sketch.Options{MaxPartitionSize: 16, Depth: depth, Seed: 1, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := sketch.Solve(prep.Instance, sketch.Options{MaxPartitionSize: 16, Depth: depth, Seed: 1, Parallelism: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !serial.Feasible || !parallel.Feasible {
+			t.Fatalf("depth %d: infeasible (serial %v, parallel %v)", depth, serial.Feasible, parallel.Feasible)
+		}
+		if !reflect.DeepEqual(serial.Mult, parallel.Mult) {
+			t.Fatalf("depth %d: parallel package diverged from serial", depth)
+		}
+		if serial.Objective != parallel.Objective {
+			t.Fatalf("depth %d: objective %v (serial) vs %v (parallel)", depth, serial.Objective, parallel.Objective)
+		}
+		if serial.Refined != parallel.Refined || serial.Repaired != parallel.Repaired {
+			t.Fatalf("depth %d: refine stats diverged: serial %d/%d, parallel %d/%d",
+				depth, serial.Refined, serial.Repaired, parallel.Refined, parallel.Repaired)
+		}
+		if parallel.Workers != 8 || serial.Workers != 1 {
+			t.Fatalf("depth %d: workers stat = %d/%d, want 1/8", depth, serial.Workers, parallel.Workers)
+		}
+	}
+}
+
+// TestParallelSpeedup1M is the scale acceptance check for the parallel
+// pipeline: building and refining at 1M rows with all cores must be at
+// least 2x faster than fully serial, with byte-identical packages. It
+// needs real cores, so single- and dual-core machines skip it (the CI
+// full-test job runs on 4-core runners).
+func TestParallelSpeedup1M(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 1M-tuple relation")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("needs >= 4 CPUs, have %d", runtime.GOMAXPROCS(0))
+	}
+	prep := recipesPrep(t, 1000000)
+	run := func(par int) (*sketch.Result, time.Duration) {
+		start := time.Now()
+		res, err := sketch.Solve(prep.Instance, sketch.Options{MaxPartitionSize: 256, Depth: 2, Seed: 1, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, time.Since(start)
+	}
+	// Warm once so allocator and page-cache effects do not pollute the
+	// serial-vs-parallel comparison.
+	run(0)
+	serial, serialTime := run(1)
+	parallel, parallelTime := run(0)
+	if !serial.Feasible || !parallel.Feasible {
+		t.Fatalf("infeasible at 1M (serial %v, parallel %v)", serial.Feasible, parallel.Feasible)
+	}
+	if !reflect.DeepEqual(serial.Mult, parallel.Mult) {
+		t.Fatal("parallel package diverged from serial at 1M")
+	}
+	if speedup := float64(serialTime) / float64(parallelTime); speedup < 2 {
+		t.Fatalf("parallel speedup %.2fx < 2x (serial %v, parallel %v on %d CPUs)",
+			speedup, serialTime, parallelTime, runtime.GOMAXPROCS(0))
+	}
+}

@@ -42,7 +42,9 @@ func effectiveTau(n int, opts Options) int {
 // (the attribute with the widest normalized spread is split first), and
 // builds a representative tuple per group: the mean for numeric
 // columns, the mode for categorical ones. The procedure is
-// deterministic under a fixed seed.
+// deterministic under a fixed seed and any Options.Parallelism: the
+// workers only divide the splits and representative scans, never the
+// outcome.
 func Partition(inst *search.Instance, opts Options) *Partitioning {
 	n := len(inst.Rows)
 	part := &Partitioning{Attrs: partitionAttrs(inst), Tau: effectiveTau(n, opts)}
@@ -54,10 +56,12 @@ func Partition(inst *search.Instance, opts Options) *Partitioning {
 	for i := range all {
 		all[i] = i
 	}
-	part.Groups = medianSplit(inst.Rows, all, attrs, part.Tau)
-	for _, g := range part.Groups {
-		part.Reps = append(part.Reps, representative(inst.Rows, g))
-	}
+	w := opts.workers()
+	part.Groups = medianSplit(inst.Rows, all, attrs, part.Tau, w)
+	part.Reps = make([]schema.Row, len(part.Groups))
+	parallelFor(w, len(part.Groups), func(i int) {
+		part.Reps[i] = representative(inst.Rows, part.Groups[i])
+	})
 	return part
 }
 
@@ -75,42 +79,64 @@ func shuffledAttrs(attrs []int, seed int64) []int {
 // medianSplit splits the index set over rows into groups of at most tau
 // elements by recursive median splits on attrs (the attribute with the
 // widest normalized spread within the group is split first). The
-// returned groups are each sorted ascending. The partitioner uses it
-// over the candidate tuples; the tree builder reuses it over the
-// representative rows of a whole level.
-func medianSplit(rows []schema.Row, all []int, attrs []int, tau int) [][]int {
-	var groups [][]int
-	var split func(g []int)
-	split = func(g []int) {
-		if len(g) <= tau {
-			gg := append([]int(nil), g...)
-			sort.Ints(gg)
-			groups = append(groups, gg)
-			return
-		}
-		a := widestAttr(rows, g, attrs)
-		if a < 0 {
-			// No attribute separates the group (all values equal):
-			// chop it by index.
-			for s := 0; s < len(g); s += tau {
-				e := min(s+tau, len(g))
-				split(g[s:e])
-			}
-			return
-		}
-		sort.SliceStable(g, func(i, j int) bool {
-			vi, vj := numAt(rows[g[i]], a), numAt(rows[g[j]], a)
-			if vi != vj {
-				return vi < vj
-			}
-			return g[i] < g[j]
-		})
-		mid := len(g) / 2
-		split(g[:mid])
-		split(g[mid:])
+// returned groups are each sorted ascending and appear in in-order
+// traversal order. The partitioner uses it over the candidate tuples;
+// the tree builder reuses it over the representative rows of a whole
+// level.
+//
+// With workers > 1 the two halves of a split recurse concurrently
+// (bounded by a semaphore, staying serial below parallelSplitMin) —
+// the halves operate on disjoint subslices and their group lists are
+// concatenated in traversal order, so the result is identical at any
+// worker count.
+func medianSplit(rows []schema.Row, all []int, attrs []int, tau, workers int) [][]int {
+	return splitRec(rows, all, attrs, tau, newLimiter(workers))
+}
+
+// splitRec is medianSplit's recursion; it returns the subtree's groups
+// in traversal order so concurrent halves merge deterministically.
+func splitRec(rows []schema.Row, g []int, attrs []int, tau int, lim limiter) [][]int {
+	if len(g) <= tau {
+		gg := append([]int(nil), g...)
+		sort.Ints(gg)
+		return [][]int{gg}
 	}
-	split(all)
-	return groups
+	a := widestAttr(rows, g, attrs)
+	if a < 0 {
+		// No attribute separates the group (all values equal):
+		// chop it by index.
+		var groups [][]int
+		for s := 0; s < len(g); s += tau {
+			e := min(s+tau, len(g))
+			groups = append(groups, splitRec(rows, g[s:e], attrs, tau, lim)...)
+		}
+		return groups
+	}
+	// The comparator is a strict total order (ties break on index), so
+	// an unstable sort yields the exact sequence a stable one would —
+	// at a fraction of the cost on the hot path.
+	sort.Slice(g, func(i, j int) bool {
+		vi, vj := numAt(rows[g[i]], a), numAt(rows[g[j]], a)
+		if vi != vj {
+			return vi < vj
+		}
+		return g[i] < g[j]
+	})
+	mid := len(g) / 2
+	left, right := g[:mid], g[mid:]
+	if len(g) >= parallelSplitMin && lim.tryAcquire() {
+		var lg [][]int
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer lim.release()
+			lg = splitRec(rows, left, attrs, tau, lim)
+		}()
+		rg := splitRec(rows, right, attrs, tau, lim)
+		<-done
+		return append(lg, rg...)
+	}
+	return append(splitRec(rows, left, attrs, tau, lim), splitRec(rows, right, attrs, tau, lim)...)
 }
 
 // partitionAttrs collects the numeric columns referenced by the query's

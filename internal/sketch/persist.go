@@ -1,0 +1,453 @@
+package sketch
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// persistMagic and persistVersion identify the on-disk partition-tree
+// format. Bump the version whenever the encoding changes: old files
+// then fail the header check and are rebuilt, never misread.
+const (
+	persistMagic   = "PBTREE"
+	persistVersion = 1
+)
+
+// Store is the on-disk tier of the partition-tree cache: one file per
+// Key under a directory, written atomically (temp file + rename) after
+// every build and read on an in-memory miss. Files carry the full key
+// — fingerprint included — plus a trailing checksum, so a stale,
+// truncated, or corrupted file is detected and reported as a miss
+// (the caller rebuilds and overwrites); a load never yields a tree
+// that does not match the requested key byte for byte.
+//
+// The rename-based write makes concurrent use safe: readers only ever
+// see complete files, and the last concurrent builder of the same key
+// wins with an identical tree (builds are deterministic).
+type Store struct {
+	dir string
+}
+
+// NewStore returns a store rooted at dir. The directory is created on
+// the first Save.
+func NewStore(dir string) *Store { return &Store{dir: dir} }
+
+// Dir reports the directory backing the store.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file a key persists to: the row fingerprint plus a
+// digest of the remaining knobs, so distinct keys never collide on a
+// name and a data change switches files instead of overwriting a tree
+// another dataset still uses.
+func (s *Store) Path(k Key) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d", k.Attrs, k.Tau, k.Depth, k.Seed)
+	return filepath.Join(s.dir, fmt.Sprintf("%016x-%016x.pbtree", k.Fingerprint, h.Sum64()))
+}
+
+// Save writes the tree for the key, atomically replacing any previous
+// file.
+func (s *Store) Save(k Key, t *Tree) error {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(s.dir, ".pbtree-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	crc := crc32.NewIEEE()
+	enc := &treeEncoder{w: bufio.NewWriter(io.MultiWriter(f, crc))}
+	enc.encode(k, t)
+	err = enc.flush()
+	if err == nil {
+		// The checksum trails the payload so it can be computed while
+		// streaming; once the payload is flushed it is final, and goes
+		// straight to the file (bypassing the hash writer).
+		var sum [4]byte
+		binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+		_, err = f.Write(sum[:])
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, s.Path(k))
+	}
+	if err != nil {
+		os.Remove(tmp)
+	}
+	return err
+}
+
+// Load reads the tree persisted for the key. A missing file is a clean
+// miss (nil, nil); a file that is truncated, corrupted, carries another
+// format version, or was written for a different key — a stale
+// fingerprint after a data change, say — returns an error the caller
+// should treat as "rebuild", never as fatal.
+func (s *Store) Load(k Key) (*Tree, error) {
+	data, err := os.ReadFile(s.Path(k))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return decodeTree(data, k)
+}
+
+// treeEncoder streams the versioned binary encoding: magic, version,
+// the full key, then the tree — per level, per node: children and
+// tuples as delta-compressed uvarints (both are sorted ascending) and
+// the representative row via value.EncodeKey.
+type treeEncoder struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (e *treeEncoder) bytes(b []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+func (e *treeEncoder) uvarint(u uint64) {
+	n := binary.PutUvarint(e.buf[:], u)
+	e.bytes(e.buf[:n])
+}
+
+func (e *treeEncoder) varint(i int64) {
+	n := binary.PutVarint(e.buf[:], i)
+	e.bytes(e.buf[:n])
+}
+
+// deltaInts writes a sorted int slice as count + first + deltas (the
+// arithmetic wraps through uint64, so even an unsorted slice — a bug,
+// not a format — would still round-trip exactly).
+func (e *treeEncoder) deltaInts(xs []int) {
+	e.uvarint(uint64(len(xs)))
+	prev := 0
+	for _, x := range xs {
+		e.uvarint(uint64(x - prev))
+		prev = x
+	}
+}
+
+func (e *treeEncoder) row(r schema.Row) {
+	e.uvarint(uint64(len(r)))
+	var buf []byte
+	for _, v := range r {
+		buf = v.EncodeKey(buf[:0])
+		e.bytes(buf)
+	}
+}
+
+func (e *treeEncoder) encode(k Key, t *Tree) {
+	e.bytes([]byte(persistMagic))
+	e.uvarint(persistVersion)
+	var fp [8]byte
+	binary.LittleEndian.PutUint64(fp[:], k.Fingerprint)
+	e.bytes(fp[:])
+	e.uvarint(uint64(len(k.Attrs)))
+	e.bytes([]byte(k.Attrs))
+	e.uvarint(uint64(k.Tau))
+	e.uvarint(uint64(k.Depth))
+	e.varint(k.Seed)
+	e.deltaInts(t.Attrs)
+	e.uvarint(uint64(t.Tau))
+	e.uvarint(uint64(t.Depth))
+	for _, nodes := range t.Levels {
+		e.uvarint(uint64(len(nodes)))
+		for i := range nodes {
+			e.deltaInts(nodes[i].Children)
+			e.deltaInts(nodes[i].Tuples)
+			e.row(nodes[i].Rep)
+		}
+	}
+}
+
+func (e *treeEncoder) flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
+// treeDecoder validates as it reads: every count is checked against the
+// bytes remaining before allocation, so a corrupted header cannot
+// trigger a huge allocation, and any overrun surfaces as an error.
+type treeDecoder struct {
+	data []byte
+	off  int
+}
+
+func (d *treeDecoder) remaining() int { return len(d.data) - d.off }
+
+func (d *treeDecoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.remaining() < n {
+		return nil, fmt.Errorf("truncated (%d bytes wanted, %d left)", n, d.remaining())
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *treeDecoder) uvarint() (uint64, error) {
+	u, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated varint at offset %d", d.off)
+	}
+	d.off += n
+	return u, nil
+}
+
+func (d *treeDecoder) varint() (int64, error) {
+	i, n := binary.Varint(d.data[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated varint at offset %d", d.off)
+	}
+	d.off += n
+	return i, nil
+}
+
+// count reads a length prefix, rejecting any value no payload of the
+// remaining size could hold (each element takes at least one byte).
+func (d *treeDecoder) count() (int, error) {
+	u, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if u > uint64(d.remaining()) {
+		return 0, fmt.Errorf("count %d exceeds remaining %d bytes", u, d.remaining())
+	}
+	return int(u), nil
+}
+
+func (d *treeDecoder) deltaInts() ([]int, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	xs := make([]int, n)
+	prev := uint64(0)
+	for i := range xs {
+		u, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		prev += u
+		xs[i] = int(prev)
+	}
+	return xs, nil
+}
+
+func (d *treeDecoder) row() (schema.Row, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	r := make(schema.Row, n)
+	rest := d.data[d.off:]
+	for i := range r {
+		var v value.V
+		v, rest, err = value.DecodeKey(rest)
+		if err != nil {
+			return nil, err
+		}
+		r[i] = v
+	}
+	d.off = len(d.data) - len(rest)
+	return r, nil
+}
+
+// decodeTree parses and verifies one persisted tree against the key the
+// caller asked for.
+func decodeTree(data []byte, k Key) (*Tree, error) {
+	if len(data) < len(persistMagic)+4 {
+		return nil, fmt.Errorf("sketch: persisted tree: file too short (%d bytes)", len(data))
+	}
+	payload, sum := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(sum) {
+		return nil, fmt.Errorf("sketch: persisted tree: checksum mismatch (truncated or corrupted file)")
+	}
+	d := &treeDecoder{data: payload}
+	magic, err := d.bytes(len(persistMagic))
+	if err != nil || string(magic) != persistMagic {
+		return nil, fmt.Errorf("sketch: persisted tree: bad magic")
+	}
+	version, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("sketch: persisted tree: %w", err)
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("sketch: persisted tree: format version %d (want %d)", version, persistVersion)
+	}
+	fpBytes, err := d.bytes(8)
+	if err != nil {
+		return nil, fmt.Errorf("sketch: persisted tree: %w", err)
+	}
+	got := Key{Fingerprint: binary.LittleEndian.Uint64(fpBytes)}
+	attrsLen, err := d.count()
+	if err != nil {
+		return nil, fmt.Errorf("sketch: persisted tree: %w", err)
+	}
+	attrs, err := d.bytes(attrsLen)
+	if err != nil {
+		return nil, fmt.Errorf("sketch: persisted tree: %w", err)
+	}
+	got.Attrs = string(attrs)
+	tau, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("sketch: persisted tree: %w", err)
+	}
+	got.Tau = int(tau)
+	depth, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("sketch: persisted tree: %w", err)
+	}
+	got.Depth = int(depth)
+	if got.Seed, err = d.varint(); err != nil {
+		return nil, fmt.Errorf("sketch: persisted tree: %w", err)
+	}
+	if got != k {
+		return nil, fmt.Errorf("sketch: persisted tree is for another key (stale fingerprint or knobs): have %+v, want %+v", got, k)
+	}
+	t := &Tree{}
+	if t.Attrs, err = d.deltaInts(); err != nil {
+		return nil, fmt.Errorf("sketch: persisted tree: attrs: %w", err)
+	}
+	treeTau, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("sketch: persisted tree: %w", err)
+	}
+	t.Tau = int(treeTau)
+	treeDepth, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("sketch: persisted tree: %w", err)
+	}
+	t.Depth = int(treeDepth)
+	if t.Depth < 1 || t.Depth > maxDepth {
+		return nil, fmt.Errorf("sketch: persisted tree: implausible depth %d", t.Depth)
+	}
+	t.Levels = make([][]Node, t.Depth)
+	for l := range t.Levels {
+		n, err := d.count()
+		if err != nil {
+			return nil, fmt.Errorf("sketch: persisted tree: level %d: %w", l, err)
+		}
+		nodes := make([]Node, n)
+		for i := range nodes {
+			if nodes[i].Children, err = d.deltaInts(); err != nil {
+				return nil, fmt.Errorf("sketch: persisted tree: level %d node %d children: %w", l, i, err)
+			}
+			if nodes[i].Tuples, err = d.deltaInts(); err != nil {
+				return nil, fmt.Errorf("sketch: persisted tree: level %d node %d tuples: %w", l, i, err)
+			}
+			if nodes[i].Rep, err = d.row(); err != nil {
+				return nil, fmt.Errorf("sketch: persisted tree: level %d node %d rep: %w", l, i, err)
+			}
+		}
+		t.Levels[l] = nodes
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("sketch: persisted tree: %d trailing bytes", d.remaining())
+	}
+	if err := t.validateStructure(); err != nil {
+		return nil, fmt.Errorf("sketch: persisted tree: %w", err)
+	}
+	return t, nil
+}
+
+// validateStructure rejects trees that decoded cleanly but are
+// internally inconsistent — the checksum guards against accidental
+// damage, this guards against files whose payload was altered and
+// re-checksummed (or a fingerprint collision): nothing a Load returns
+// may panic the solver downstream. Instance-dependent checks (tuple
+// indexes vs the candidate count, attrs vs the row width) live in
+// validateAgainst.
+func (t *Tree) validateStructure() error {
+	if t.Depth != len(t.Levels) {
+		return fmt.Errorf("depth %d but %d levels", t.Depth, len(t.Levels))
+	}
+	for _, a := range t.Attrs {
+		if a < 0 {
+			return fmt.Errorf("negative attribute ordinal %d", a)
+		}
+	}
+	for l, nodes := range t.Levels {
+		if len(nodes) == 0 {
+			return fmt.Errorf("level %d is empty", l)
+		}
+		for i := range nodes {
+			if len(nodes[i].Tuples) == 0 {
+				return fmt.Errorf("level %d node %d covers no tuples", l, i)
+			}
+			for _, x := range nodes[i].Tuples {
+				if x < 0 {
+					return fmt.Errorf("level %d node %d: negative tuple index %d", l, i, x)
+				}
+			}
+			if nodes[i].Rep == nil {
+				return fmt.Errorf("level %d node %d has no representative", l, i)
+			}
+			if l == t.Depth-1 {
+				if len(nodes[i].Children) != 0 {
+					return fmt.Errorf("leaf node %d has children", i)
+				}
+				continue
+			}
+			below := len(t.Levels[l+1])
+			for _, ci := range nodes[i].Children {
+				if ci < 0 || ci >= below {
+					return fmt.Errorf("level %d node %d: child index %d outside level %d (%d nodes)", l, i, ci, l+1, below)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// validateAgainst checks the tree fits the instance it is about to
+// serve: every leaf tuple index in range and covered exactly once, and
+// every split attribute a real column. The partition cache key should
+// make a mismatch impossible; this is the backstop that turns a
+// fingerprint collision or a tampered store file into a rebuild
+// instead of an out-of-range panic inside a solve.
+func (t *Tree) validateAgainst(n, width int) error {
+	for _, a := range t.Attrs {
+		if a >= width {
+			return fmt.Errorf("attribute ordinal %d outside %d-column rows", a, width)
+		}
+	}
+	seen := make([]bool, n)
+	covered := 0
+	for i := range t.Leaves() {
+		for _, x := range t.Leaves()[i].Tuples {
+			if x >= n {
+				return fmt.Errorf("leaf %d: tuple index %d outside %d candidates", i, x, n)
+			}
+			if seen[x] {
+				return fmt.Errorf("tuple %d covered by two leaves", x)
+			}
+			seen[x] = true
+			covered++
+		}
+	}
+	if covered != n {
+		return fmt.Errorf("leaves cover %d of %d candidates", covered, n)
+	}
+	return nil
+}

@@ -19,16 +19,21 @@ import (
 const maxSweeps = 3
 
 // refine replaces each sketch-chosen representative with real tuples
-// from its partition. Partitions are processed greedily (largest sketch
-// multiplicity first); each gets a sub-MILP over its own tuples whose
-// constraint right-hand sides are the query atoms minus every other
-// partition's current contribution. Infeasible or over-budget
-// sub-problems fall back to a greedy repair that picks the tuples
-// nearest the representative. Pinned tuples keep multiplicity ≥ 1
-// throughout: the sub-MILP floors their variables and the repair
+// from its partition. The first pass is a concurrent wave: every active
+// partition gets a sub-MILP over its own tuples whose constraint
+// right-hand sides are the query atoms minus every other partition's
+// representative contribution — the residuals come from one shared
+// snapshot, so the solves are independent, run across workers, and
+// merge in fixed partition order (largest sketch multiplicity first),
+// keeping the result identical at any worker count. Infeasible or
+// over-budget sub-problems fall back to a greedy repair that picks the
+// tuples nearest the representative. Pinned tuples keep multiplicity
+// ≥ 1 throughout: the sub-MILP floors their variables and the repair
 // assigns them first. The final package is validated against the full
-// formula (and the pins), with up to maxSweeps coordinate-descent
-// passes to absorb representative error.
+// formula (and the pins), with up to maxSweeps-1 sequential
+// coordinate-descent passes — each re-solve seeing every earlier
+// partition's real tuples — to absorb representative and
+// cross-partition error.
 func refine(inst *search.Instance, part *Partitioning, atoms, repAtoms []*translate.LinearAtom, y []int, pins map[int]bool, opts Options, deadline time.Time, res *Result) {
 	n := len(inst.Rows)
 	mult := make([]int, n)
@@ -65,26 +70,15 @@ func refine(inst *search.Instance, part *Partitioning, atoms, repAtoms []*transl
 	// Scales feed only the greedy fallback's distance metric, and cost a
 	// full candidate scan — computed on first use.
 	var scales []float64
-	refineGroup := func(g int, sweep int) {
-		residual := make([]float64, len(atoms))
-		for k := range atoms {
-			residual[k] = atoms[k].RHS - (cur[k] - grpSum[g][k])
+	repair := func(g int) {
+		if scales == nil {
+			scales = attrScales(inst, part.Attrs)
 		}
-		ok := residualSolve(inst, part.Groups[g], tupleBound(inst, pins), atoms, inst.ObjW, residual, mult, opts, deadline, res)
-		if ok {
-			if sweep == 0 {
-				res.Refined++
-			}
-		} else {
-			if scales == nil {
-				scales = attrScales(inst, part.Attrs)
-			}
-			greedyRepair(inst, part, g, y[g], mult, pins, scales)
-			if sweep == 0 {
-				res.Repaired++
-			}
-		}
-		// Swap g's contribution from representative to real tuples.
+		greedyRepair(inst, part, g, y[g], mult, pins, scales)
+	}
+	// syncGroup swaps g's tracked contribution from representative to
+	// real tuples.
+	syncGroup := func(g int) {
 		for k := range atoms {
 			s := 0.0
 			for _, i := range part.Groups[g] {
@@ -97,17 +91,42 @@ func refine(inst *search.Instance, part *Partitioning, atoms, repAtoms []*transl
 		}
 	}
 
-	valid := false
-	for sweep := 0; sweep < maxSweeps; sweep++ {
-		for _, g := range active {
-			refineGroup(g, sweep)
+	// Sweep 0: the concurrent wave. Partitions are disjoint, so each
+	// solve writes only its own mult entries; the repair fallback and
+	// the contribution bookkeeping run in the deterministic merge loop.
+	oks := solveWave(inst, active, func(g int) []int { return part.Groups[g] },
+		tupleBound(inst, pins), atoms, inst.ObjW, cur, grpSum, mult, opts, deadline, res)
+	for ai, g := range active {
+		if oks[ai] {
+			res.Refined++
+		} else {
+			repair(g)
+			res.Repaired++
 		}
-		if valid = checkAtoms(atoms, cur); valid {
-			break
-		}
-		if sweep == 0 {
+		syncGroup(g)
+	}
+	valid := checkAtoms(atoms, cur)
+
+	// Repair sweeps are sequential coordinate descent: each re-solve
+	// sees every earlier partition's real tuples (order-dependent state
+	// keeps them serial), so the last feasible solve enforces the full
+	// formula. They only run when the wave's shared-snapshot result
+	// violates a constraint.
+	for sweep := 1; !valid && sweep < maxSweeps; sweep++ {
+		if sweep == 1 {
 			res.Notes = append(res.Notes, "refined package violates a constraint; running repair sweeps")
 		}
+		for _, g := range active {
+			residual := make([]float64, len(atoms))
+			for k := range atoms {
+				residual[k] = atoms[k].RHS - (cur[k] - grpSum[g][k])
+			}
+			if !residualSolve(inst, part.Groups[g], tupleBound(inst, pins), atoms, inst.ObjW, residual, mult, opts, deadline, res) {
+				repair(g)
+			}
+			syncGroup(g)
+		}
+		valid = checkAtoms(atoms, cur)
 	}
 
 	res.Mult = mult
@@ -195,6 +214,37 @@ func residualSolve(inst *search.Instance, members []int, bound func(id int) (lo,
 		out[id] = int(math.Round(sol.X[j]))
 	}
 	return true
+}
+
+// solveWave runs one residual sub-MILP per group in order concurrently,
+// every residual taken against the same cur/grpSum snapshot (each
+// group's own contribution subtracted back out). Groups own disjoint
+// entries of out, so the solves are independent and their results are
+// deterministic regardless of scheduling; per-solve node/iteration
+// counters are accumulated into res in group order. Both waves — the
+// per-leaf refine and the hierarchical per-parent push-down — share it.
+// Returns one success flag per group; the caller applies fallbacks and
+// contribution updates in its own deterministic merge loop.
+func solveWave(inst *search.Instance, order []int, members func(g int) []int, bound func(int) (float64, float64), atoms []*translate.LinearAtom, objW []float64, cur []float64, grpSum [][]float64, out []int, opts Options, deadline time.Time, res *Result) []bool {
+	oks := make([]bool, len(order))
+	subs := make([]Result, len(order))
+	residuals := make([][]float64, len(order))
+	for ai, g := range order {
+		r := make([]float64, len(atoms))
+		for k := range atoms {
+			r[k] = atoms[k].RHS - (cur[k] - grpSum[g][k])
+		}
+		residuals[ai] = r
+	}
+	parallelFor(opts.workers(), len(order), func(ai int) {
+		g := order[ai]
+		oks[ai] = residualSolve(inst, members(g), bound, atoms, objW, residuals[ai], out, opts, deadline, &subs[ai])
+	})
+	for ai := range order {
+		res.Nodes += subs[ai].Nodes
+		res.LPIters += subs[ai].LPIters
+	}
+	return oks
 }
 
 // tupleBound is the refine step's bound function: pinned tuples floored

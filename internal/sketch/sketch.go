@@ -19,7 +19,16 @@
 // into nodes the level above chose — the top-level solve stays tiny no
 // matter how large the relation grows. An optional Cache keyed by a
 // fingerprint of the candidate rows lets repeated workloads skip the
-// offline partitioning step entirely.
+// offline partitioning step entirely, and Options.PersistDir backs that
+// cache with an on-disk Store so a brand-new process skips it too.
+//
+// The pipeline is parallel end to end: tree construction forks the
+// median splits across a worker pool (small subtrees stay serial), the
+// per-parent push-down solves of each descent level and the per-leaf
+// refine solves run as concurrent waves against a shared residual
+// snapshot, merged in fixed order. Options.Parallelism tunes the worker
+// count; the result is byte-identical at every setting (see the package
+// README for the architecture and the full knob table).
 //
 // The strategy applies to linear queries whose SUCH THAT clause is a
 // pure conjunction of SUM/COUNT comparison atoms and whose objective is
@@ -93,6 +102,19 @@ type Options struct {
 	// every sketch level via per-node mean weights and exactly during
 	// refine. Requires 0/1 multiplicities (no REPEAT).
 	Exclude [][]int
+	// Parallelism caps the workers the offline partitioning, the
+	// per-level push-down wave, and the per-leaf refine wave fan out
+	// across: 0 = one worker per CPU (GOMAXPROCS), 1 = fully serial.
+	// Results are byte-identical at every setting (workers only divide
+	// the work, never reorder the merge); under a Timeout the per-solve
+	// time slices depend on wall clock, so only timeout-free runs are
+	// reproducible across machines.
+	Parallelism int
+	// PersistDir, when non-empty, names a directory used as an on-disk
+	// second tier under Cache: trees are saved after every build and
+	// loaded on a cache miss (same fingerprint-based key, so stale
+	// files are never used — see Store). Empty = no persistence.
+	PersistDir string
 }
 
 func (o Options) nodes() int {
@@ -126,6 +148,8 @@ type Result struct {
 	Levels     int     // partition-tree levels used (1 = flat)
 	TopVars    int     // variables in the top-level sketch MILP
 	CacheHit   bool    // partition tree served from the cache
+	TreeLoaded bool    // partition tree loaded from the on-disk store
+	Workers    int     // workers the parallel phases fanned out across
 	Active     int     // leaf partitions the sketch solution touched
 	Refined    int     // partitions refined via their sub-MILP
 	Repaired   int     // partitions that fell back to greedy repair
@@ -161,7 +185,7 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 	if err := Applicable(inst); err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	res := &Result{Workers: opts.workers()}
 	defer func() { res.Elapsed = time.Since(start) }()
 	n := len(inst.Rows)
 	pins, err := pinSet(n, opts.Require)
@@ -210,7 +234,7 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 		res.Partitions = len(tree.Leaves())
 		res.Levels = tree.Depth
 		res.TopVars = len(tree.Levels[0])
-		y, leafAtoms, infeasible, err := descend(inst, tree, fullAtoms, exAtoms, pins, opts, deadline, res)
+		y, leafAtoms, infeasible, err := descend(inst, tree, exAtoms, pins, opts, deadline, res)
 		if err != nil {
 			return nil, err
 		}
@@ -326,14 +350,20 @@ func pinCount(tuples []int, pins map[int]bool) int {
 	return c
 }
 
-// acquireTree fetches the partition tree from the cache or builds (and
-// caches) it. The cache key fingerprints the candidate rows, so any
-// change to the backing data misses and the stale tree ages out.
-// CacheHit reflects the tree this call returns: a retry that rebuilds
-// clears a hit recorded by an earlier attempt.
+// acquireTree fetches the partition tree from the in-memory cache, then
+// from the on-disk store, and only then builds it (populating both
+// tiers). The key fingerprints the candidate rows, so any change to the
+// backing data misses in both tiers and stale trees age out (memory) or
+// are overwritten (disk). CacheHit/TreeLoaded reflect the tree this
+// call returns: a retry that rebuilds clears flags recorded by an
+// earlier attempt.
 func acquireTree(inst *search.Instance, opts Options, res *Result) *Tree {
-	res.CacheHit = false
-	if opts.Cache == nil {
+	res.CacheHit, res.TreeLoaded = false, false
+	var store *Store
+	if opts.PersistDir != "" {
+		store = NewStore(opts.PersistDir)
+	}
+	if opts.Cache == nil && store == nil {
 		return BuildTree(inst, opts)
 	}
 	key := Key{
@@ -343,12 +373,43 @@ func acquireTree(inst *search.Instance, opts Options, res *Result) *Tree {
 		Depth:       opts.depth(),
 		Seed:        opts.Seed,
 	}
-	if t, ok := opts.Cache.Get(key); ok {
-		res.CacheHit = true
-		return t
+	if opts.Cache != nil {
+		if t, ok := opts.Cache.Get(key); ok {
+			res.CacheHit = true
+			return t
+		}
+	}
+	if store != nil {
+		t, err := store.Load(key)
+		if err == nil && t != nil {
+			width := 0
+			if len(inst.Rows) > 0 {
+				width = len(inst.Rows[0])
+			}
+			err = t.validateAgainst(len(inst.Rows), width)
+		}
+		switch {
+		case err != nil:
+			// Corrupt, truncated, stale, or instance-mismatched files are
+			// a rebuild, never a failure: the build below overwrites them.
+			res.Notes = append(res.Notes, fmt.Sprintf("persisted partition tree unusable (%v); rebuilding", err))
+		case t != nil:
+			res.TreeLoaded = true
+			if opts.Cache != nil {
+				opts.Cache.Put(key, t)
+			}
+			return t
+		}
 	}
 	t := BuildTree(inst, opts)
-	opts.Cache.Put(key, t)
+	if opts.Cache != nil {
+		opts.Cache.Put(key, t)
+	}
+	if store != nil {
+		if err := store.Save(key, t); err != nil {
+			res.Notes = append(res.Notes, fmt.Sprintf("could not persist partition tree: %v", err))
+		}
+	}
 	return t
 }
 
@@ -368,7 +429,7 @@ func attrsKey(attrs []int) string {
 // chosen at the level above are descended into. Returns the leaf
 // multiplicities together with the query atoms weighted over the leaf
 // representatives (what refine consumes).
-func descend(inst *search.Instance, tree *Tree, fullAtoms, exAtoms []*translate.LinearAtom, pins map[int]bool, opts Options, deadline time.Time, res *Result) (y []int, leafAtoms []*translate.LinearAtom, infeasible bool, err error) {
+func descend(inst *search.Instance, tree *Tree, exAtoms []*translate.LinearAtom, pins map[int]bool, opts Options, deadline time.Time, res *Result) (y []int, leafAtoms []*translate.LinearAtom, infeasible bool, err error) {
 	levelAtoms := make([][]*translate.LinearAtom, tree.Depth)
 	levelObjW := make([][]float64, tree.Depth)
 	for l, nodes := range tree.Levels {
@@ -395,7 +456,7 @@ func descend(inst *search.Instance, tree *Tree, fullAtoms, exAtoms []*translate.
 		return nil, nil, infeasible, err
 	}
 	for l := 1; l < tree.Depth; l++ {
-		y = pushLevel(inst, tree, l, fullAtoms, levelAtoms, levelObjW, y, pins, opts, deadline, res)
+		y = pushLevel(inst, tree, l, levelAtoms, levelObjW, y, pins, opts, deadline, res)
 	}
 	return y, levelAtoms[tree.Depth-1], false, nil
 }
@@ -466,13 +527,18 @@ func rootSolve(inst *search.Instance, nodes []Node, atoms []*translate.LinearAto
 // active parent's children against the full constraints — the
 // highest-quality push-down, and still tiny because the union is
 // bounded by the active count times the fanout. When that union
-// exceeds jointCap or the joint solve fails, each active parent
-// (largest multiplicity first) instead gets its own MILP over its
-// children whose constraint right-hand sides are the query atoms minus
-// every other node's current contribution; a parent whose sub-MILP
-// fails falls back to a greedy spread over its children, nearest
-// representative first, honoring pinned lower bounds.
-func pushLevel(inst *search.Instance, tree *Tree, l int, atoms []*translate.LinearAtom, levelAtoms [][]*translate.LinearAtom, levelObjW [][]float64, parentMult []int, pins map[int]bool, opts Options, deadline time.Time, res *Result) []int {
+// exceeds jointCap or the joint solve fails, the active parents are
+// pushed down as a concurrent wave (see solveWave): each parent gets
+// its own MILP over its children whose constraint right-hand sides are
+// the query atoms minus every other parent's representative
+// contribution, the solves fan out across workers (parents own
+// disjoint child sets), and the merge walks the parents in fixed order
+// (largest multiplicity first). A parent whose sub-MILP fails falls
+// back to a greedy spread over its children, nearest representative
+// first, honoring pinned lower bounds. Cross-parent error left by the
+// shared snapshot is absorbed a level deeper — ultimately by refine's
+// validation and repair sweeps.
+func pushLevel(inst *search.Instance, tree *Tree, l int, levelAtoms [][]*translate.LinearAtom, levelObjW [][]float64, parentMult []int, pins map[int]bool, opts Options, deadline time.Time, res *Result) []int {
 	parents := tree.Levels[l-1]
 	children := tree.Levels[l]
 	pAtoms, cAtoms := levelAtoms[l-1], levelAtoms[l]
@@ -486,9 +552,9 @@ func pushLevel(inst *search.Instance, tree *Tree, l int, atoms []*translate.Line
 	}
 	if len(union) <= jointCap {
 		sort.Ints(union)
-		residual := make([]float64, len(atoms))
-		for k := range atoms {
-			residual[k] = atoms[k].RHS
+		residual := make([]float64, len(cAtoms))
+		for k := range cAtoms {
+			residual[k] = cAtoms[k].RHS
 		}
 		if residualSolve(inst, union, nodeBound(inst, children, pins), cAtoms, levelObjW[l], residual, childMult, opts, deadline, res) {
 			return childMult
@@ -498,17 +564,16 @@ func pushLevel(inst *search.Instance, tree *Tree, l int, atoms []*translate.Line
 		}
 	}
 
-	// cur[k]: every node's current contribution to atom k — the
-	// parent's own representative until that parent is pushed down, its
-	// children's representatives afterwards.
-	cur := make([]float64, len(atoms))
+	// cur[k]: every active parent's representative contribution to atom
+	// k — the shared snapshot the wave's residuals are taken against.
+	cur := make([]float64, len(cAtoms))
 	grpSum := make([][]float64, len(parents))
 	for g := range parents {
-		grpSum[g] = make([]float64, len(atoms))
+		grpSum[g] = make([]float64, len(cAtoms))
 		if parentMult[g] == 0 {
 			continue
 		}
-		for k := range atoms {
+		for k := range cAtoms {
 			grpSum[g][k] = pAtoms[k].W[g] * float64(parentMult[g])
 			cur[k] += grpSum[g][k]
 		}
@@ -525,29 +590,17 @@ func pushLevel(inst *search.Instance, tree *Tree, l int, atoms []*translate.Line
 		}
 		return active[i] < active[j]
 	})
+	oks := solveWave(inst, active, func(g int) []int { return parents[g].Children },
+		nodeBound(inst, children, pins), cAtoms, levelObjW[l], cur, grpSum, childMult, opts, deadline, res)
 	// Scales feed only the greedy fallback's distance metric, and cost a
 	// full candidate scan — computed on first use.
 	var scales []float64
-	for _, g := range active {
-		residual := make([]float64, len(atoms))
-		for k := range atoms {
-			residual[k] = atoms[k].RHS - (cur[k] - grpSum[g][k])
-		}
-		if !residualSolve(inst, parents[g].Children, nodeBound(inst, children, pins), cAtoms, levelObjW[l], residual, childMult, opts, deadline, res) {
+	for ai, g := range active {
+		if !oks[ai] {
 			if scales == nil {
 				scales = attrScales(inst, tree.Attrs)
 			}
 			greedySpread(inst, children, parents[g], parentMult[g], childMult, pins, scales, tree.Attrs)
-		}
-		for k := range atoms {
-			s := 0.0
-			for _, ci := range parents[g].Children {
-				if childMult[ci] != 0 {
-					s += cAtoms[k].W[ci] * float64(childMult[ci])
-				}
-			}
-			cur[k] += s - grpSum[g][k]
-			grpSum[g][k] = s
 		}
 	}
 	return childMult

@@ -85,7 +85,7 @@ func BuildTree(inst *search.Instance, opts Options) *Tree {
 		fanout = 2
 	}
 	for t.Depth < depth && len(t.Levels[0]) > fanout {
-		parents := groupLevel(inst, t.Levels[0], t.Attrs, fanout, opts.Seed)
+		parents := groupLevel(inst, t.Levels[0], t.Attrs, fanout, opts.Seed, opts.workers())
 		t.Levels = append([][]Node{parents}, t.Levels...)
 		t.Depth++
 	}
@@ -96,23 +96,26 @@ func BuildTree(inst *search.Instance, opts Options) *Tree {
 // children's representatives are median-split into groups of at most
 // fanout, and each group becomes a parent whose representative is
 // recomputed over the union of covered tuples (a tuple-weighted mean,
-// more faithful than averaging child representatives).
-func groupLevel(inst *search.Instance, children []Node, attrs []int, fanout int, seed int64) []Node {
+// more faithful than averaging child representatives). Parents are
+// independent, so their unions and representatives are computed across
+// workers.
+func groupLevel(inst *search.Instance, children []Node, attrs []int, fanout int, seed int64, workers int) []Node {
 	repRows := make([]schema.Row, len(children))
 	all := make([]int, len(children))
 	for i := range children {
 		repRows[i] = children[i].Rep
 		all[i] = i
 	}
-	groups := medianSplit(repRows, all, shuffledAttrs(attrs, seed), fanout)
+	groups := medianSplit(repRows, all, shuffledAttrs(attrs, seed), fanout, workers)
 	parents := make([]Node, len(groups))
-	for pi, g := range groups {
+	parallelFor(workers, len(groups), func(pi int) {
+		g := groups[pi]
 		var tuples []int
 		for _, ci := range g {
 			tuples = append(tuples, children[ci].Tuples...)
 		}
 		sort.Ints(tuples)
 		parents[pi] = Node{Children: g, Tuples: tuples, Rep: representative(inst.Rows, tuples)}
-	}
+	})
 	return parents
 }

@@ -391,6 +391,58 @@ func (v V) EncodeKey(dst []byte) []byte {
 	return dst
 }
 
+// DecodeKey decodes one datum from the front of src (the inverse of
+// EncodeKey) and returns it together with the remaining bytes. It
+// validates as it reads, so truncated or corrupted input yields an
+// error rather than a junk datum — the partition-tree persistence layer
+// relies on this when reading untrusted files.
+func DecodeKey(src []byte) (V, []byte, error) {
+	if len(src) == 0 {
+		return Null(), nil, fmt.Errorf("value: empty key encoding")
+	}
+	k, rest := Kind(src[0]), src[1:]
+	switch k {
+	case KindNull:
+		return Null(), rest, nil
+	case KindBool:
+		if len(rest) < 1 {
+			return Null(), nil, fmt.Errorf("value: truncated boolean key")
+		}
+		return Bool(rest[0] != 0), rest[1:], nil
+	case KindInt:
+		u, rest, err := takeUint64(rest, "integer")
+		if err != nil {
+			return Null(), nil, err
+		}
+		return Int(int64(u)), rest, nil
+	case KindFloat:
+		u, rest, err := takeUint64(rest, "float")
+		if err != nil {
+			return Null(), nil, err
+		}
+		return Float(math.Float64frombits(u)), rest, nil
+	case KindString:
+		n, rest, err := takeUint64(rest, "string length")
+		if err != nil {
+			return Null(), nil, err
+		}
+		if n > uint64(len(rest)) {
+			return Null(), nil, fmt.Errorf("value: truncated string key (%d bytes declared, %d left)", n, len(rest))
+		}
+		return Str(string(rest[:n])), rest[n:], nil
+	}
+	return Null(), nil, fmt.Errorf("value: unknown key kind %d", uint8(k))
+}
+
+func takeUint64(src []byte, what string) (uint64, []byte, error) {
+	if len(src) < 8 {
+		return 0, nil, fmt.Errorf("value: truncated %s key", what)
+	}
+	u := uint64(src[0])<<56 | uint64(src[1])<<48 | uint64(src[2])<<40 | uint64(src[3])<<32 |
+		uint64(src[4])<<24 | uint64(src[5])<<16 | uint64(src[6])<<8 | uint64(src[7])
+	return u, src[8:], nil
+}
+
 func appendUint64(dst []byte, u uint64) []byte {
 	return append(dst,
 		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),

@@ -416,3 +416,48 @@ func TestPropEncodeKeyInjectiveInts(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDecodeKeyRoundTrip(t *testing.T) {
+	vals := []V{
+		Null(), Bool(true), Bool(false), Int(0), Int(-42), Int(1 << 40),
+		Float(3.25), Float(-0.5), Str(""), Str("hello"), Str("with \x00 byte"),
+	}
+	// One buffer holding every encoding back to back: DecodeKey must be
+	// self-delimiting, consuming exactly its own bytes.
+	var buf []byte
+	for _, v := range vals {
+		buf = v.EncodeKey(buf)
+	}
+	rest := buf
+	for i, want := range vals {
+		var got V
+		var err error
+		got, rest, err = DecodeKey(rest)
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		if got.Kind() != want.Kind() || got.String() != want.String() {
+			t.Fatalf("value %d: decoded %s %q, want %s %q", i, got.Kind(), got, want.Kind(), want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after decoding all values", len(rest))
+	}
+}
+
+func TestDecodeKeyRejectsCorruptInput(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            {},
+		"unknown kind":     {99},
+		"truncated bool":   {byte(KindBool)},
+		"truncated int":    {byte(KindInt), 1, 2, 3},
+		"truncated float":  {byte(KindFloat), 1},
+		"truncated strlen": {byte(KindString), 0, 0},
+		"string overrun":   Str("hello").EncodeKey(nil)[:10],
+	}
+	for name, in := range cases {
+		if _, _, err := DecodeKey(in); err == nil {
+			t.Errorf("%s: DecodeKey accepted corrupt input %v", name, in)
+		}
+	}
+}

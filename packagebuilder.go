@@ -40,6 +40,11 @@
 // partition count. Partition trees are cached across queries in the
 // System's shared LRU (keyed by a fingerprint of the candidate rows, so
 // writes invalidate automatically); WithSketchCache(false) opts out.
+// The offline partitioning and the per-partition solves fan out across
+// the machine's cores (WithSketchParallelism tunes or disables this;
+// results are identical at any worker count), and
+// WithSketchPersistDir(dir) adds an on-disk tier under the LRU so a new
+// process skips the offline step as well.
 //
 // Typical use:
 //
@@ -174,6 +179,22 @@ func WithSketchDepth(d int) Option {
 // partition-tree cache for this query (enabled by default).
 func WithSketchCache(enabled bool) Option {
 	return func(o *core.Options) { o.SketchNoCache = !enabled }
+}
+
+// WithSketchParallelism caps the workers SketchRefine's offline
+// partitioning and per-partition solves fan out across: 0 = one per
+// CPU (the default), 1 = fully serial. Results are identical at every
+// setting — parallelism only divides the work.
+func WithSketchParallelism(n int) Option {
+	return func(o *core.Options) { o.SketchParallelism = n }
+}
+
+// WithSketchPersistDir persists SketchRefine partition trees to dir as
+// an on-disk tier under the in-memory cache, so a cold start (new
+// process) skips the offline partitioning step too. Stale or corrupted
+// files fall back to a rebuild.
+func WithSketchPersistDir(dir string) Option {
+	return func(o *core.Options) { o.SketchPersistDir = dir }
 }
 
 func (s *System) buildOptions(opts []Option) core.Options {
