@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/explore"
@@ -339,6 +340,34 @@ func BenchmarkE10_ParallelPersist(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkE11_FullGrammarSketch runs the full-atom-grammar workloads —
+// an AVG rewrite, a MIN/MAX envelope query, and a two-branch
+// disjunction — under SketchRefine, the queries that used to fall back
+// to the exact solver. cmd/pbench -exp e11 prints the matching
+// sketch-vs-exact table with the 100k and 1M points.
+func BenchmarkE11_FullGrammarSketch(b *testing.B) {
+	n := 20000
+	db := benchDB(b, n)
+	for _, q := range bench.E11Queries {
+		prep, err := core.Prepare(db, q.Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%s/n=%d", q.Name, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := prep.Run(core.Options{Strategy: core.SketchRefineStrategy, Seed: 1, SketchDepth: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.Strategy != core.SketchRefineStrategy || res.Stats.SketchLevels < 1 {
+					b.Fatalf("fell off the sketch path: strategy=%v levels=%d",
+						res.Stats.Strategy, res.Stats.SketchLevels)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSketchPartition isolates the offline partitioning step.

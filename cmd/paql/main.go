@@ -20,6 +20,15 @@
 //	paql -gen recipes:1000000:1 -strategy sketch -sketch-depth 2 -q "..."
 //	paql -gen recipes:1000000:1 -strategy sketch -sketch-depth 2 \
 //	     -sketch-dir trees -q "..."     # re-run loads the partition tree from disk
+//	paql -gen recipes:100000:1 -strategy sketch -q "SELECT PACKAGE(R) AS P FROM recipes R
+//	     SUCH THAT COUNT(*) = 5 AND AVG(P.calories) <= 650
+//	           AND (MIN(P.protein) >= 5 OR SUM(P.protein) >= 80)
+//	     MAXIMIZE SUM(P.protein)"      # full atom grammar stays on the sketch path
+//
+// SketchRefine covers the full PaQL atom grammar: AVG atoms are
+// linearized, MIN/MAX atoms are enforced via partition envelopes, and
+// disjunctions descend one DNF branch each (the result notes report the
+// branch and rewrite counts).
 package main
 
 import (

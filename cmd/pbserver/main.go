@@ -146,6 +146,8 @@ func (s *server) packageJSON(ses *explore.Session, p *core.Package, stats *core.
 			out.Stats["partitions"] = stats.Partitions
 			out.Stats["sketchLevels"] = stats.SketchLevels
 			out.Stats["sketchTopVars"] = stats.SketchTopVars
+			out.Stats["sketchBranches"] = stats.SketchBranches
+			out.Stats["sketchAtomRewrites"] = stats.SketchAtomRewrites
 			out.Stats["sketchCacheHit"] = stats.SketchCacheHit
 			out.Stats["sketchTreeLoaded"] = stats.SketchTreeLoaded
 			out.Stats["sketchWorkers"] = stats.SketchWorkers
@@ -363,6 +365,8 @@ function render(p) {
     if (p.stats.partitions) {
       sk = ' (' + p.stats.partitions + ' partitions';
       if (p.stats.sketchLevels > 1) sk += ', ' + p.stats.sketchLevels + ' levels';
+      if (p.stats.sketchBranches > 1) sk += ', ' + p.stats.sketchBranches + ' branches';
+      if (p.stats.sketchAtomRewrites > 0) sk += ', ' + p.stats.sketchAtomRewrites + ' atom rewrites';
       if (p.stats.sketchCacheHit) sk += ', cached tree';
       if (p.stats.sketchTreeLoaded) sk += ', tree from disk';
       if (p.stats.sketchWorkers > 1) sk += ', ' + p.stats.sketchWorkers + ' workers';

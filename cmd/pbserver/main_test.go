@@ -151,6 +151,29 @@ func TestQueryStrategyExposure(t *testing.T) {
 	if rec2.Code != http.StatusBadRequest {
 		t.Errorf("unknown strategy status = %d", rec2.Code)
 	}
+
+	// Full-grammar sketch run: an AVG atom inside a disjunction stays on
+	// the sketch strategy and surfaces the branch/rewrite counters.
+	avgQuery := `
+		SELECT PACKAGE(R) AS P FROM recipes R
+		SUCH THAT COUNT(*) = 3 AND (AVG(P.calories) <= 900 OR SUM(P.calories) <= 2000)
+		MAXIMIZE SUM(P.protein)`
+	rec3, out3 := postJSON(t, s.handleQuery,
+		`{"query": `+mustJSON(avgQuery)+`, "strategy": "sketch-refine"}`)
+	if rec3.Code != 200 {
+		t.Fatalf("avg sketch query status %d: %s", rec3.Code, rec3.Body)
+	}
+	var stats3 map[string]any
+	_ = json.Unmarshal(out3["stats"], &stats3)
+	if stats3["strategy"] != "sketch-refine" {
+		t.Errorf("avg query fell back: strategy = %v", stats3["strategy"])
+	}
+	if b, ok := stats3["sketchBranches"].(float64); !ok || b != 2 {
+		t.Errorf("stats.sketchBranches = %v, want 2", stats3["sketchBranches"])
+	}
+	if rw, ok := stats3["sketchAtomRewrites"].(float64); !ok || rw != 1 {
+		t.Errorf("stats.sketchAtomRewrites = %v, want 1", stats3["sketchAtomRewrites"])
+	}
 }
 
 // TestConcurrentQueryTraffic hammers the API from many goroutines —

@@ -187,26 +187,28 @@ func (p *Package) Size() int {
 
 // Stats describes how an evaluation went.
 type Stats struct {
-	Candidates       int          // tuples passing base constraints
-	Bounds           prune.Bounds // §4.1 cardinality bounds
-	SpacePruned      *big.Int     // Σ C(n,k) within bounds (nil unless computed)
-	SpaceFull        *big.Int     // 2^n (nil unless computed)
-	Linear           bool         // MILP-translatable
-	Strategy         Strategy     // strategy actually used
-	Exact            bool         // result is provably optimal/complete
-	Nodes            int64        // search nodes or MILP B&B nodes
-	LPIters          int          // simplex iterations (solver)
-	SQLQueries       int          // replacement queries (local search)
-	Restarts         int          // local-search restarts
-	Partitions       int          // leaf partitions built (sketch-refine)
-	Repaired         int          // partitions greedily repaired (sketch-refine)
-	SketchLevels     int          // partition-tree levels used (sketch-refine; 1 = flat)
-	SketchTopVars    int          // variables in the top-level sketch MILP (sketch-refine)
-	SketchCacheHit   bool         // partition tree served from the shared cache
-	SketchTreeLoaded bool         // partition tree loaded from the on-disk store
-	SketchWorkers    int          // workers the sketch-refine parallel phases used
-	Elapsed          time.Duration
-	Notes            []string // strategy decisions, fallbacks, caveats
+	Candidates         int          // tuples passing base constraints
+	Bounds             prune.Bounds // §4.1 cardinality bounds
+	SpacePruned        *big.Int     // Σ C(n,k) within bounds (nil unless computed)
+	SpaceFull          *big.Int     // 2^n (nil unless computed)
+	Linear             bool         // MILP-translatable
+	Strategy           Strategy     // strategy actually used
+	Exact              bool         // result is provably optimal/complete
+	Nodes              int64        // search nodes or MILP B&B nodes
+	LPIters            int          // simplex iterations (solver)
+	SQLQueries         int          // replacement queries (local search)
+	Restarts           int          // local-search restarts
+	Partitions         int          // leaf partitions built (sketch-refine)
+	Repaired           int          // partitions greedily repaired (sketch-refine)
+	SketchLevels       int          // partition-tree levels used (sketch-refine; 1 = flat)
+	SketchTopVars      int          // variables in the top-level sketch MILP (sketch-refine)
+	SketchBranches     int          // DNF branches descended (sketch-refine; 1 = conjunctive)
+	SketchAtomRewrites int          // AVG/MIN/MAX atoms rewritten into sketchable rows (sketch-refine)
+	SketchCacheHit     bool         // partition tree served from the shared cache
+	SketchTreeLoaded   bool         // partition tree loaded from the on-disk store
+	SketchWorkers      int          // workers the sketch-refine parallel phases used
+	Elapsed            time.Duration
+	Notes              []string // strategy decisions, fallbacks, caveats
 }
 
 // Result is the evaluation outcome.

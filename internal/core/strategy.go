@@ -249,6 +249,8 @@ func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, err
 	res.Stats.Repaired = sres.Repaired
 	res.Stats.SketchLevels = sres.Levels
 	res.Stats.SketchTopVars = sres.TopVars
+	res.Stats.SketchBranches = sres.Branches
+	res.Stats.SketchAtomRewrites = sres.AtomRewrites
 	res.Stats.SketchCacheHit = sres.CacheHit
 	res.Stats.SketchTreeLoaded = sres.TreeLoaded
 	res.Stats.SketchWorkers = sres.Workers
@@ -257,8 +259,9 @@ func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, err
 	res.Stats.Exact = false
 	res.Stats.Notes = append(res.Stats.Notes, sres.Notes...)
 	res.Stats.Notes = append(res.Stats.Notes, fmt.Sprintf(
-		"sketch-refine: %d leaf partitions (τ bound), %d levels, %d top-level vars%s, %d active, %d refined, %d repaired; objective gap unproven",
-		sres.Partitions, sres.Levels, sres.TopVars, cacheNote(sres.CacheHit, sres.TreeLoaded), sres.Active, sres.Refined, sres.Repaired))
+		"sketch-refine: %d leaf partitions (τ bound), %d levels, %d top-level vars%s%s, %d active, %d refined, %d repaired; objective gap unproven",
+		sres.Partitions, sres.Levels, sres.TopVars, cacheNote(sres.CacheHit, sres.TreeLoaded),
+		branchNote(sres.Branches, sres.AtomRewrites), sres.Active, sres.Refined, sres.Repaired))
 	if !sres.Feasible {
 		res.Stats.Notes = append(res.Stats.Notes,
 			"sketch-refine found no feasible package (the query may still be feasible; try -strategy solver)")
@@ -396,6 +399,20 @@ func sortMultsByObjective(inst *search.Instance, mults [][]int) {
 	for i := range ps {
 		mults[i] = ps[i].mult
 	}
+}
+
+// branchNote renders the DNF-branch and atom-rewrite counters for the
+// sketch-refine stats note; conjunctive SUM/COUNT queries (one branch,
+// no rewrites) keep the classic note text.
+func branchNote(branches, rewrites int) string {
+	s := ""
+	if branches > 1 {
+		s += fmt.Sprintf(", %d branches", branches)
+	}
+	if rewrites > 0 {
+		s += fmt.Sprintf(", %d atom rewrites", rewrites)
+	}
+	return s
 }
 
 func cacheNote(hit, loaded bool) string {

@@ -235,20 +235,78 @@ func TestSketchMultiplePackagesRepeat(t *testing.T) {
 	}
 }
 
-func TestSketchRequestedForNonPureFallsBack(t *testing.T) {
+// TestSketchCoversAvgMinMaxNoFallback pins the full-grammar contract:
+// AVG/MIN/MAX atoms and 2-branch disjunctions run under the sketch
+// strategy without falling back to the exact solver, proven by the
+// sketch-specific stats being populated.
+func TestSketchCoversAvgMinMaxNoFallback(t *testing.T) {
 	db := minidb.New()
 	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: 60, Seed: 5}); err != nil {
 		t.Fatal(err)
 	}
+	queries := []struct {
+		tail         string
+		wantBranches int
+		wantRewrites int
+	}{
+		{`SUCH THAT COUNT(*) = 3 AND AVG(P.calories) <= 900 MAXIMIZE SUM(P.protein)`, 1, 1},
+		{`SUCH THAT COUNT(*) = 3 AND MIN(P.protein) >= 5 MAXIMIZE SUM(P.protein)`, 1, 1},
+		{`SUCH THAT COUNT(*) = 3 AND MAX(P.calories) <= 950 MAXIMIZE SUM(P.protein)`, 1, 1},
+		{`SUCH THAT COUNT(*) = 3 AND (AVG(P.calories) <= 900 OR SUM(P.calories) <= 2000) MAXIMIZE SUM(P.protein)`, 2, 1},
+	}
+	for _, q := range queries {
+		res, err := Evaluate(db, "SELECT PACKAGE(R) AS P FROM recipes R "+q.tail,
+			Options{Strategy: SketchRefineStrategy, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", q.tail, err)
+		}
+		if res.Stats.Strategy != SketchRefineStrategy {
+			t.Fatalf("%s: fell back to %v", q.tail, res.Stats.Strategy)
+		}
+		if res.Stats.SketchLevels < 1 {
+			t.Errorf("%s: SketchLevels = %d, want >= 1 (the sketch really ran)", q.tail, res.Stats.SketchLevels)
+		}
+		if res.Stats.SketchBranches != q.wantBranches {
+			t.Errorf("%s: SketchBranches = %d, want %d", q.tail, res.Stats.SketchBranches, q.wantBranches)
+		}
+		if res.Stats.SketchAtomRewrites != q.wantRewrites {
+			t.Errorf("%s: SketchAtomRewrites = %d, want %d", q.tail, res.Stats.SketchAtomRewrites, q.wantRewrites)
+		}
+		if len(res.Packages) == 0 {
+			t.Fatalf("%s: no package", q.tail)
+		}
+	}
+}
+
+// TestSketchRequestedForUnsupportedFallsBack keeps the fallback path
+// honest for what the sketch engine still cannot lower: a DNF blow-up
+// past the branch cap routes to the exact solver, with a note naming
+// the obstruction.
+func TestSketchRequestedForUnsupportedFallsBack(t *testing.T) {
+	db := minidb.New()
+	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: 25, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
 	res, err := Evaluate(db, `
 		SELECT PACKAGE(R) AS P FROM recipes R
-		SUCH THAT COUNT(*) = 3 AND AVG(P.calories) <= 900
-		MAXIMIZE SUM(P.protein)`, Options{Strategy: SketchRefineStrategy, Seed: 1})
+		SUCH THAT (COUNT(*) = 1 OR COUNT(*) = 2 OR COUNT(*) = 3)
+		      AND (SUM(P.calories) >= 0 OR SUM(P.protein) >= 0)
+		      AND (SUM(P.fat) >= 0 OR SUM(P.carbs) >= 0)`,
+		Options{Strategy: SketchRefineStrategy, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Stats.Strategy != Solver {
-		t.Fatalf("AVG query should fall back to the solver, got %v", res.Stats.Strategy)
+		t.Fatalf("12-branch DNF should fall back to the solver, got %v", res.Stats.Strategy)
+	}
+	found := false
+	for _, n := range res.Stats.Notes {
+		if strings.Contains(n, "disjunctive branches") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fallback note should explain the DNF cap, got %v", res.Stats.Notes)
 	}
 	if len(res.Packages) == 0 {
 		t.Fatal("fallback returned no package")

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"hash/fnv"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -17,9 +18,15 @@ import (
 // persistMagic and persistVersion identify the on-disk partition-tree
 // format. Bump the version whenever the encoding changes: old files
 // then fail the header check and are rebuilt, never misread.
+//
+// Version history:
+//
+//	1  children/tuples + representative row per node
+//	2  adds the per-attribute min/max envelope (Lo/Hi/NonNull) each
+//	   node carries for MIN/MAX atom pruning
 const (
 	persistMagic   = "PBTREE"
-	persistVersion = 1
+	persistVersion = 2
 )
 
 // Store is the on-disk tier of the partition-tree cache: one file per
@@ -172,7 +179,21 @@ func (e *treeEncoder) encode(k Key, t *Tree) {
 			e.deltaInts(nodes[i].Children)
 			e.deltaInts(nodes[i].Tuples)
 			e.row(nodes[i].Rep)
+			e.envelope(&nodes[i], len(t.Attrs))
 		}
+	}
+}
+
+// envelope writes a node's per-attribute min/max envelope: Lo and Hi as
+// raw float64 bits (bit-for-bit round-trip, no text formatting loss)
+// and NonNull as a uvarint, one triple per split attribute.
+func (e *treeEncoder) envelope(n *Node, nAttrs int) {
+	for ai := 0; ai < nAttrs; ai++ {
+		var b [16]byte
+		binary.LittleEndian.PutUint64(b[:8], math.Float64bits(n.Lo[ai]))
+		binary.LittleEndian.PutUint64(b[8:], math.Float64bits(n.Hi[ai]))
+		e.bytes(b[:])
+		e.uvarint(uint64(n.NonNull[ai]))
 	}
 }
 
@@ -273,6 +294,28 @@ func (d *treeDecoder) row() (schema.Row, error) {
 	return r, nil
 }
 
+// envelope reads a node's per-attribute min/max envelope (the inverse
+// of treeEncoder.envelope).
+func (d *treeDecoder) envelope(n *Node, nAttrs int) error {
+	n.Lo = make([]float64, nAttrs)
+	n.Hi = make([]float64, nAttrs)
+	n.NonNull = make([]int, nAttrs)
+	for ai := 0; ai < nAttrs; ai++ {
+		b, err := d.bytes(16)
+		if err != nil {
+			return err
+		}
+		n.Lo[ai] = math.Float64frombits(binary.LittleEndian.Uint64(b[:8]))
+		n.Hi[ai] = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+		u, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		n.NonNull[ai] = int(u)
+	}
+	return nil
+}
+
 // decodeTree parses and verifies one persisted tree against the key the
 // caller asked for.
 func decodeTree(data []byte, k Key) (*Tree, error) {
@@ -359,6 +402,9 @@ func decodeTree(data []byte, k Key) (*Tree, error) {
 			if nodes[i].Rep, err = d.row(); err != nil {
 				return nil, fmt.Errorf("sketch: persisted tree: level %d node %d rep: %w", l, i, err)
 			}
+			if err = d.envelope(&nodes[i], len(t.Attrs)); err != nil {
+				return nil, fmt.Errorf("sketch: persisted tree: level %d node %d envelope: %w", l, i, err)
+			}
 		}
 		t.Levels[l] = nodes
 	}
@@ -402,6 +448,20 @@ func (t *Tree) validateStructure() error {
 			}
 			if nodes[i].Rep == nil {
 				return fmt.Errorf("level %d node %d has no representative", l, i)
+			}
+			if len(nodes[i].Lo) != len(t.Attrs) || len(nodes[i].Hi) != len(t.Attrs) || len(nodes[i].NonNull) != len(t.Attrs) {
+				return fmt.Errorf("level %d node %d: envelope covers %d/%d/%d of %d attributes",
+					l, i, len(nodes[i].Lo), len(nodes[i].Hi), len(nodes[i].NonNull), len(t.Attrs))
+			}
+			for ai := range t.Attrs {
+				if nodes[i].NonNull[ai] < 0 || nodes[i].NonNull[ai] > len(nodes[i].Tuples) {
+					return fmt.Errorf("level %d node %d attr %d: %d non-NULL values for %d tuples",
+						l, i, ai, nodes[i].NonNull[ai], len(nodes[i].Tuples))
+				}
+				if nodes[i].NonNull[ai] > 0 && !(nodes[i].Lo[ai] <= nodes[i].Hi[ai]) {
+					return fmt.Errorf("level %d node %d attr %d: envelope lo %g above hi %g",
+						l, i, ai, nodes[i].Lo[ai], nodes[i].Hi[ai])
+				}
 			}
 			if l == t.Depth-1 {
 				if len(nodes[i].Children) != 0 {

@@ -140,7 +140,8 @@ func refine(inst *search.Instance, part *Partitioning, atoms, repAtoms []*transl
 		}
 	}
 	if valid {
-		// Atoms are exactly the formula (Applicable requires Pure), but
+		// The atom set is a sufficient condition for the formula (one
+		// DNF branch, with strict comparisons epsilon-tightened), but
 		// validate end to end anyway; a disagreement is a bug upstream.
 		full, err := inst.Validate(mult)
 		valid = err == nil && full

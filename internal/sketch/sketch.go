@@ -30,15 +30,23 @@
 // count; the result is byte-identical at every setting (see the package
 // README for the architecture and the full knob table).
 //
-// The strategy applies to linear queries whose SUCH THAT clause is a
-// pure conjunction of SUM/COUNT comparison atoms and whose objective is
-// affine (sketch.Applicable reports the precise obstruction otherwise).
-// When a partition's sub-MILP is infeasible or the time budget runs
-// out, a greedy repair pass substitutes the real tuples nearest the
-// representative; a final validation plus bounded re-refinement sweeps
-// keep the result honest — Result.Feasible is true only for packages
-// that satisfy the full SUCH THAT formula (and contain every pinned
-// tuple, when Options.Require is set).
+// The strategy covers the full PaQL atom grammar of linear queries
+// with an affine objective (sketch.Applicable reports the precise
+// obstruction otherwise, naming the offending atom): affine SUM/COUNT
+// comparisons flow through every level as re-weighted rows; AVG atoms
+// are linearized at compile time as SUM(arg) − c·COUNT ⋚ 0 plus a
+// non-empty guard (the PVLDB 2016 rewrite), so they ride the same
+// machinery; MIN/MAX atoms lower to elimination and at-least-one
+// selector rows that are exact over real tuples and are relaxed over
+// partition nodes via the per-node min/max envelopes the offline build
+// attaches to the tree; disjunctions expand to DNF (capped at
+// MaxBranches) with one sketch descent per branch, best feasible
+// package wins. When a partition's sub-MILP is infeasible or the time
+// budget runs out, a greedy repair pass substitutes the real tuples
+// nearest the representative; a final validation plus bounded
+// re-refinement sweeps keep the result honest — Result.Feasible is true
+// only for packages that satisfy the full SUCH THAT formula (and
+// contain every pinned tuple, when Options.Require is set).
 package sketch
 
 import (
@@ -139,34 +147,43 @@ func (o Options) depth() int {
 	return o.Depth
 }
 
+// MaxBranches caps the disjunctive-normal-form expansion Solve accepts:
+// each DNF branch of the SUCH THAT formula costs one sketch descent, so
+// the cap bounds the total work. Formulas expanding past it are not
+// sketch-applicable.
+const MaxBranches = translate.DefaultMaxSketchBranches
+
 // Result is a SketchRefine outcome.
 type Result struct {
-	Mult       []int   // multiplicity per candidate
-	Objective  float64 // objective of Mult (0 when the query has none)
-	Feasible   bool    // Mult satisfies the full SUCH THAT formula (and pins)
-	Partitions int     // leaf partitions produced by the offline step
-	Levels     int     // partition-tree levels used (1 = flat)
-	TopVars    int     // variables in the top-level sketch MILP
-	CacheHit   bool    // partition tree served from the cache
-	TreeLoaded bool    // partition tree loaded from the on-disk store
-	Workers    int     // workers the parallel phases fanned out across
-	Active     int     // leaf partitions the sketch solution touched
-	Refined    int     // partitions refined via their sub-MILP
-	Repaired   int     // partitions that fell back to greedy repair
-	Nodes      int64   // branch-and-bound nodes across all solves
-	LPIters    int     // simplex iterations across all solves
-	Notes      []string
-	Elapsed    time.Duration
+	Mult         []int   // multiplicity per candidate
+	Objective    float64 // objective of Mult (0 when the query has none)
+	Feasible     bool    // Mult satisfies the full SUCH THAT formula (and pins)
+	Partitions   int     // leaf partitions produced by the offline step
+	Levels       int     // partition-tree levels used (1 = flat)
+	TopVars      int     // variables in the top-level sketch MILP
+	Branches     int     // DNF branches descended (1 = conjunctive formula)
+	AtomRewrites int     // AVG/MIN/MAX atoms rewritten into sketchable rows
+	CacheHit     bool    // partition tree served from the cache
+	TreeLoaded   bool    // partition tree loaded from the on-disk store
+	Workers      int     // workers the parallel phases fanned out across
+	Active       int     // leaf partitions the sketch solution touched
+	Refined      int     // partitions refined via their sub-MILP
+	Repaired     int     // partitions that fell back to greedy repair
+	Nodes        int64   // branch-and-bound nodes across all solves
+	LPIters      int     // simplex iterations across all solves
+	Notes        []string
+	Elapsed      time.Duration
 }
 
 // Applicable reports whether the instance can be evaluated with
-// SketchRefine; the error names the obstruction.
+// SketchRefine; the error names the obstruction — for an atom the
+// compiler cannot lower, the message names the offending aggregate.
 func Applicable(inst *search.Instance) error {
 	if !inst.Analysis.Linear {
 		return fmt.Errorf("sketch: query is not linear: %v", inst.Analysis.NonlinearReasons)
 	}
-	if !inst.Pure {
-		return fmt.Errorf("sketch: SUCH THAT is not a pure conjunction of SUM/COUNT atoms (disjunctions and AVG/MIN/MAX need the full solver)")
+	if _, _, err := translate.CompileSketch(inst.Analysis, MaxBranches); err != nil {
+		return fmt.Errorf("sketch: %w", err)
 	}
 	if inst.Analysis.Query.Objective != nil && inst.ObjW == nil {
 		return fmt.Errorf("sketch: objective is not affine")
@@ -174,18 +191,31 @@ func Applicable(inst *search.Instance) error {
 	return nil
 }
 
-// Solve runs SketchRefine: partition (or fetch the partition tree from
-// the cache), sketch over the tree's roots, descend level by level, and
-// refine the leaves into real tuples. When the sketch MILP over the
-// roots is infeasible the partitioning is retried at a quarter of the
-// size bound (finer partitions make representatives more faithful)
-// before giving up.
+// Solve runs SketchRefine over the full PaQL atom grammar: the SUCH
+// THAT formula is compiled into DNF branches (AVG atoms linearized as
+// SUM − c·COUNT, MIN/MAX atoms lowered to envelope-prunable selector
+// rows), each branch descends the shared partition tree — sketch over
+// the roots, push down level by level, refine the leaves into real
+// tuples — and the best feasible branch wins. When a branch's sketch
+// MILP over the roots is infeasible, that branch retries flat, then at
+// a quarter of the partition size bound (finer partitions make
+// representatives more faithful) before giving up.
 func Solve(inst *search.Instance, opts Options) (*Result, error) {
 	start := time.Now()
-	if err := Applicable(inst); err != nil {
-		return nil, err
+	// The same gate as Applicable, but compiling the branches exactly
+	// once (Applicable throws its compilation away; callers that probed
+	// it first would otherwise pay for the formula walk twice more).
+	if !inst.Analysis.Linear {
+		return nil, fmt.Errorf("sketch: query is not linear: %v", inst.Analysis.NonlinearReasons)
 	}
-	res := &Result{Workers: opts.workers()}
+	branches, rewrites, err := translate.CompileSketch(inst.Analysis, MaxBranches)
+	if err != nil {
+		return nil, fmt.Errorf("sketch: %w", err)
+	}
+	if inst.Analysis.Query.Objective != nil && inst.ObjW == nil {
+		return nil, fmt.Errorf("sketch: objective is not affine")
+	}
+	res := &Result{Workers: opts.workers(), AtomRewrites: rewrites}
 	defer func() { res.Elapsed = time.Since(start) }()
 	n := len(inst.Rows)
 	pins, err := pinSet(n, opts.Require)
@@ -196,22 +226,131 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The working atom set: the query's conjunctive atoms plus one
-	// synthetic atom per exclusion cut. Everything downstream — the
-	// per-level sketch MILPs, the refine residuals, the final check —
-	// enforces this extended set.
-	fullAtoms := inst.Atoms
-	if len(exAtoms) > 0 {
-		fullAtoms = append(append([]*translate.LinearAtom{}, inst.Atoms...), exAtoms...)
-	}
 	if n == 0 {
+		// The empty package, judged under the linear lens (empty sums
+		// are 0): feasible when some branch's rows accept the zero
+		// vector and the cardinality bounds allow an empty package.
 		res.Mult = []int{}
-		res.Feasible = inst.CheckAtoms(res.Mult) && inst.Bounds.Lo <= 0
+		for _, br := range branches {
+			ba, err := newBranchAtoms(inst, br)
+			if err != nil {
+				return nil, err
+			}
+			ok := inst.Bounds.Lo <= 0
+			for _, at := range ba.tuple {
+				ok = ok && at.Check(nil)
+			}
+			if ok {
+				res.Feasible = true
+				break
+			}
+		}
+		return res, nil
+	}
+	if len(branches) == 0 {
+		res.Notes = append(res.Notes, "SUCH THAT is constant false; no package can satisfy the query")
 		return res, nil
 	}
 	deadline := time.Time{}
 	if opts.Timeout > 0 {
 		deadline = start.Add(opts.Timeout)
+	}
+	trees := &treeSource{inst: inst, opts: opts, res: res}
+	// best: the feasible branch outcome with the best objective.
+	// fallback: the first refined-but-infeasible outcome, reported when
+	// no branch reaches feasibility (mirrors the single-branch contract:
+	// a best-effort package plus Feasible=false).
+	var best, fallback, last *Result
+	for bi, br := range branches {
+		ba, err := newBranchAtoms(inst, br)
+		if err != nil {
+			return nil, err
+		}
+		bres := &Result{}
+		last = bres
+		if err := solveBranch(inst, ba, exAtoms, pins, trees, opts, deadline, bres); err != nil {
+			return nil, err
+		}
+		res.Branches++
+		res.Nodes += bres.Nodes
+		res.LPIters += bres.LPIters
+		prefix := ""
+		if len(branches) > 1 {
+			prefix = fmt.Sprintf("branch %d/%d: ", bi+1, len(branches))
+		}
+		for _, note := range bres.Notes {
+			res.Notes = append(res.Notes, prefix+note)
+		}
+		if bres.Feasible {
+			if best == nil || inst.Better(bres.Objective, best.Objective) {
+				best = bres
+			}
+			if inst.Analysis.Query.Objective == nil {
+				break // any feasible branch answers an objective-free query
+			}
+		} else if fallback == nil && bres.Mult != nil {
+			fallback = bres
+		}
+	}
+	pick := best
+	if pick == nil {
+		pick = fallback
+	}
+	if pick == nil {
+		// Every branch was sketch-infeasible before reaching refine:
+		// report the last attempt's tree shape so stats still show what
+		// ran, with no package.
+		res.Partitions, res.Levels, res.TopVars = last.Partitions, last.Levels, last.TopVars
+		res.Notes = append(res.Notes, "sketch over representatives is infeasible on every branch; the query may have no package")
+		return res, nil
+	}
+	res.Mult, res.Objective, res.Feasible = pick.Mult, pick.Objective, pick.Feasible
+	res.Partitions, res.Levels, res.TopVars = pick.Partitions, pick.Levels, pick.TopVars
+	res.Active, res.Refined, res.Repaired = pick.Active, pick.Refined, pick.Repaired
+	return res, nil
+}
+
+// treeSource memoizes partition-tree acquisition across the branch
+// descents of one Solve: every DNF branch shares the same candidates
+// and split attributes, so one (τ, depth) tree serves them all, and the
+// cache/persist flags on the outer Result reflect real acquisitions,
+// never intra-call reuse.
+type treeSource struct {
+	inst  *search.Instance
+	opts  Options
+	res   *Result
+	trees map[[2]int]*Tree
+}
+
+func (ts *treeSource) get(tau, depth int) *Tree {
+	k := [2]int{tau, depth}
+	if t, ok := ts.trees[k]; ok {
+		return t
+	}
+	o := ts.opts
+	o.MaxPartitionSize, o.NumPartitions, o.Depth = tau, 0, depth
+	t := acquireTree(ts.inst, o, ts.res)
+	if ts.trees == nil {
+		ts.trees = map[[2]int]*Tree{}
+	}
+	ts.trees[k] = t
+	return t
+}
+
+// solveBranch runs the classic SketchRefine pipeline — acquire tree,
+// descend, refine — for one DNF branch, recording the outcome in res.
+// A branch whose top-level sketch is infeasible retries flat over the
+// same leaves, then once more at τ/4, exactly like the conjunctive
+// engine always has.
+func solveBranch(inst *search.Instance, ba *branchAtoms, exAtoms []*translate.LinearAtom, pins map[int]bool, trees *treeSource, opts Options, deadline time.Time, res *Result) error {
+	n := len(inst.Rows)
+	// The working atom set: the branch's tuple-level rows plus one
+	// synthetic atom per exclusion cut. Everything downstream — the
+	// per-level sketch MILPs, the refine residuals, the final check —
+	// enforces this extended set.
+	fullAtoms := ba.tuple
+	if len(exAtoms) > 0 {
+		fullAtoms = append(append([]*translate.LinearAtom{}, ba.tuple...), exAtoms...)
 	}
 	tau := effectiveTau(n, opts)
 	depth := opts.depth()
@@ -227,16 +366,14 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 			tree = flatFrom.flatten()
 			flatFrom = nil
 		} else {
-			o := opts
-			o.MaxPartitionSize, o.NumPartitions, o.Depth = tau, 0, depth
-			tree = acquireTree(inst, o, res)
+			tree = trees.get(tau, depth)
 		}
 		res.Partitions = len(tree.Leaves())
 		res.Levels = tree.Depth
 		res.TopVars = len(tree.Levels[0])
-		y, leafAtoms, infeasible, err := descend(inst, tree, exAtoms, pins, opts, deadline, res)
+		y, leafAtoms, infeasible, err := descend(inst, tree, ba, exAtoms, pins, opts, deadline, res)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if infeasible {
 			switch {
@@ -260,14 +397,14 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 				continue
 			}
 			res.Notes = append(res.Notes, "sketch over representatives is infeasible; the query may have no package")
-			return res, nil
+			return nil
 		}
 		if y == nil {
 			res.Notes = append(res.Notes, "sketch solver hit its limits without an incumbent")
-			return res, nil
+			return nil
 		}
 		refine(inst, tree.leafPartitioning(), fullAtoms, leafAtoms, y, pins, opts, deadline, res)
-		return res, nil
+		return nil
 	}
 }
 
@@ -427,36 +564,35 @@ func attrsKey(attrs []int) string {
 // constraint right-hand sides — the same residual scheme refine applies
 // to real tuples, applied to representatives level by level. Only nodes
 // chosen at the level above are descended into. Returns the leaf
-// multiplicities together with the query atoms weighted over the leaf
-// representatives (what refine consumes).
-func descend(inst *search.Instance, tree *Tree, exAtoms []*translate.LinearAtom, pins map[int]bool, opts Options, deadline time.Time, res *Result) (y []int, leafAtoms []*translate.LinearAtom, infeasible bool, err error) {
+// multiplicities together with the branch atoms weighted over the leaf
+// level (what refine consumes): representative rows for affine and AVG
+// atoms, envelope relaxations for the MIN/MAX selector rows.
+func descend(inst *search.Instance, tree *Tree, ba *branchAtoms, exAtoms []*translate.LinearAtom, pins map[int]bool, opts Options, deadline time.Time, res *Result) (y []int, leafAtoms []*translate.LinearAtom, infeasible bool, err error) {
 	levelAtoms := make([][]*translate.LinearAtom, tree.Depth)
 	levelObjW := make([][]float64, tree.Depth)
+	levelAdm := make([][]int, tree.Depth)
 	for l, nodes := range tree.Levels {
 		reps := make([]schema.Row, len(nodes))
 		for i := range nodes {
 			reps[i] = nodes[i].Rep
 		}
-		atoms, _, err := translate.ConjunctiveAtoms(inst.Analysis, reps)
+		atoms, err := ba.levelAtoms(nodes, tree.Attrs, reps)
 		if err != nil {
 			return nil, nil, false, err
-		}
-		if len(atoms) != len(inst.Atoms) {
-			return nil, nil, false, fmt.Errorf("sketch: internal error: %d representative atoms for %d instance atoms", len(atoms), len(inst.Atoms))
 		}
 		atoms = append(atoms, nodeExclusionAtoms(nodes, exAtoms)...)
 		w, _, err := translate.ObjectiveWeights(inst.Analysis, reps)
 		if err != nil {
 			return nil, nil, false, err
 		}
-		levelAtoms[l], levelObjW[l] = atoms, w
+		levelAtoms[l], levelObjW[l], levelAdm[l] = atoms, w, ba.admissibleCounts(nodes)
 	}
-	y, infeasible, err = rootSolve(inst, tree.Levels[0], levelAtoms[0], levelObjW[0], pins, opts, deadline, res)
+	y, infeasible, err = rootSolve(inst, tree.Levels[0], levelAtoms[0], levelObjW[0], levelAdm[0], pins, opts, deadline, res)
 	if err != nil || infeasible || y == nil {
 		return nil, nil, infeasible, err
 	}
 	for l := 1; l < tree.Depth; l++ {
-		y = pushLevel(inst, tree, l, levelAtoms, levelObjW, y, pins, opts, deadline, res)
+		y = pushLevel(inst, tree, l, levelAtoms, levelObjW, levelAdm, y, pins, opts, deadline, res)
 	}
 	return y, levelAtoms[tree.Depth-1], false, nil
 }
@@ -472,15 +608,18 @@ const jointCap = 4096
 // the subtree's tuple capacity and floored at the subtree's pinned
 // count), the query's linear atoms re-weighted over the root
 // representatives, and the affine objective likewise.
-func rootSolve(inst *search.Instance, nodes []Node, atoms []*translate.LinearAtom, objW []float64, pins map[int]bool, opts Options, deadline time.Time, res *Result) (y []int, infeasible bool, err error) {
+func rootSolve(inst *search.Instance, nodes []Node, atoms []*translate.LinearAtom, objW []float64, adm []int, pins map[int]bool, opts Options, deadline time.Time, res *Result) (y []int, infeasible bool, err error) {
 	G := len(nodes)
 	p := lp.NewProblem(G)
 	for g := 0; g < G; g++ {
-		up := lp.Inf
-		if inst.MaxMult > 0 {
-			up = float64(len(nodes[g].Tuples) * inst.MaxMult)
+		lo := float64(pinCount(nodes[g].Tuples, pins))
+		up := nodeCap(inst, &nodes[g], adm, g)
+		if lo > up {
+			// A pinned tuple inside a fully-eliminated subtree: no
+			// package on this branch can honor both.
+			return nil, true, nil
 		}
-		if err := p.SetBounds(g, float64(pinCount(nodes[g].Tuples, pins)), up); err != nil {
+		if err := p.SetBounds(g, lo, up); err != nil {
 			return nil, false, err
 		}
 	}
@@ -538,10 +677,11 @@ func rootSolve(inst *search.Instance, nodes []Node, atoms []*translate.LinearAto
 // first, honoring pinned lower bounds. Cross-parent error left by the
 // shared snapshot is absorbed a level deeper — ultimately by refine's
 // validation and repair sweeps.
-func pushLevel(inst *search.Instance, tree *Tree, l int, levelAtoms [][]*translate.LinearAtom, levelObjW [][]float64, parentMult []int, pins map[int]bool, opts Options, deadline time.Time, res *Result) []int {
+func pushLevel(inst *search.Instance, tree *Tree, l int, levelAtoms [][]*translate.LinearAtom, levelObjW [][]float64, levelAdm [][]int, parentMult []int, pins map[int]bool, opts Options, deadline time.Time, res *Result) []int {
 	parents := tree.Levels[l-1]
 	children := tree.Levels[l]
 	pAtoms, cAtoms := levelAtoms[l-1], levelAtoms[l]
+	adm := levelAdm[l]
 	childMult := make([]int, len(children))
 
 	var union []int
@@ -556,7 +696,7 @@ func pushLevel(inst *search.Instance, tree *Tree, l int, levelAtoms [][]*transla
 		for k := range cAtoms {
 			residual[k] = cAtoms[k].RHS
 		}
-		if residualSolve(inst, union, nodeBound(inst, children, pins), cAtoms, levelObjW[l], residual, childMult, opts, deadline, res) {
+		if residualSolve(inst, union, nodeBound(inst, children, pins, adm), cAtoms, levelObjW[l], residual, childMult, opts, deadline, res) {
 			return childMult
 		}
 		for _, ci := range union {
@@ -591,7 +731,7 @@ func pushLevel(inst *search.Instance, tree *Tree, l int, levelAtoms [][]*transla
 		return active[i] < active[j]
 	})
 	oks := solveWave(inst, active, func(g int) []int { return parents[g].Children },
-		nodeBound(inst, children, pins), cAtoms, levelObjW[l], cur, grpSum, childMult, opts, deadline, res)
+		nodeBound(inst, children, pins, adm), cAtoms, levelObjW[l], cur, grpSum, childMult, opts, deadline, res)
 	// Scales feed only the greedy fallback's distance metric, and cost a
 	// full candidate scan — computed on first use.
 	var scales []float64
@@ -600,23 +740,39 @@ func pushLevel(inst *search.Instance, tree *Tree, l int, levelAtoms [][]*transla
 			if scales == nil {
 				scales = attrScales(inst, tree.Attrs)
 			}
-			greedySpread(inst, children, parents[g], parentMult[g], childMult, pins, scales, tree.Attrs)
+			greedySpread(inst, children, parents[g], parentMult[g], childMult, pins, scales, tree.Attrs, adm)
 		}
 	}
 	return childMult
 }
 
 // nodeBound is the push-down bound function over a level's nodes:
-// floored at the subtree's pinned count, capped at the subtree's tuple
-// capacity.
-func nodeBound(inst *search.Instance, nodes []Node, pins map[int]bool) func(int) (float64, float64) {
+// floored at the subtree's pinned count, capped at the subtree's
+// admissible tuple capacity.
+func nodeBound(inst *search.Instance, nodes []Node, pins map[int]bool, adm []int) func(int) (float64, float64) {
 	return func(ci int) (float64, float64) {
-		up := lp.Inf
-		if inst.MaxMult > 0 {
-			up = float64(len(nodes[ci].Tuples) * inst.MaxMult)
-		}
-		return float64(pinCount(nodes[ci].Tuples, pins)), up
+		return float64(pinCount(nodes[ci].Tuples, pins)), nodeCap(inst, &nodes[ci], adm, ci)
 	}
+}
+
+// nodeCap bounds a node's multiplicity at a sketch level: the subtree's
+// tuple count times the REPEAT cap, shrunk to the admissible supply
+// when the branch carries elimination rows — units the refine MILP
+// could never place must not be promised by the sketch. A node whose
+// whole subtree is eliminated caps at 0 (the envelope prune as a
+// bound).
+func nodeCap(inst *search.Instance, n *Node, adm []int, g int) float64 {
+	tuples := len(n.Tuples)
+	if adm != nil && adm[g] < tuples {
+		tuples = adm[g]
+	}
+	if tuples == 0 {
+		return 0
+	}
+	if inst.MaxMult > 0 {
+		return float64(tuples * inst.MaxMult)
+	}
+	return lp.Inf
 }
 
 // greedySpread hands a parent's units to its children when the
@@ -624,11 +780,18 @@ func nodeBound(inst *search.Instance, nodes []Node, pins map[int]bool) func(int)
 // bound, then the remaining units go round-robin to the children whose
 // representatives are nearest the parent's in normalized attribute
 // space (the same allocation the per-leaf repair uses).
-func greedySpread(inst *search.Instance, children []Node, parent Node, units int, childMult []int, pins map[int]bool, scales []float64, attrs []int) {
+func greedySpread(inst *search.Instance, children []Node, parent Node, units int, childMult []int, pins map[int]bool, scales []float64, attrs []int, adm []int) {
 	floor := func(ci int) int { return pinCount(children[ci].Tuples, pins) }
 	capacity := func(ci int) int {
+		tuples := len(children[ci].Tuples)
+		if adm != nil && adm[ci] < tuples {
+			tuples = adm[ci]
+		}
 		if inst.MaxMult > 0 {
-			return len(children[ci].Tuples) * inst.MaxMult
+			return tuples * inst.MaxMult
+		}
+		if tuples == 0 {
+			return 0
 		}
 		return max(units, 1)
 	}

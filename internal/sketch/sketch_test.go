@@ -3,6 +3,7 @@ package sketch_test
 import (
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -164,22 +165,54 @@ func TestRefineFallbackInfeasiblePartition(t *testing.T) {
 	}
 }
 
-func TestApplicableRejectsNonPure(t *testing.T) {
+// TestApplicableCoversFullAtomGrammar pins the applicability contract:
+// AVG/MIN/MAX atoms and disjunctions are sketchable now, and the
+// refusal message for what remains unsupported names the offending
+// aggregate instead of a blanket "not a pure conjunction".
+func TestApplicableCoversFullAtomGrammar(t *testing.T) {
 	db := minidb.New()
 	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: 50, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
-	prep, err := core.Prepare(db, `
-		SELECT PACKAGE(R) AS P FROM recipes R
-		SUCH THAT COUNT(*) = 3 AND AVG(P.calories) <= 800`)
-	if err != nil {
-		t.Fatal(err)
+	supported := []string{
+		`SUCH THAT COUNT(*) = 3 AND AVG(P.calories) <= 800`,
+		`SUCH THAT COUNT(*) = 3 AND MIN(P.protein) >= 5`,
+		`SUCH THAT COUNT(*) = 3 AND MAX(P.calories) < 950`,
+		`SUCH THAT COUNT(*) = 2 OR SUM(P.calories) <= 1500`,
 	}
-	if err := sketch.Applicable(prep.Instance); err == nil {
-		t.Fatal("AVG atom should not be sketch-applicable")
+	for _, clause := range supported {
+		prep, err := core.Prepare(db, "SELECT PACKAGE(R) AS P FROM recipes R "+clause)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sketch.Applicable(prep.Instance); err != nil {
+			t.Errorf("%s should be sketch-applicable, got: %v", clause, err)
+		}
 	}
-	if _, err := sketch.Solve(prep.Instance, sketch.Options{}); err == nil {
-		t.Fatal("Solve should refuse a non-applicable instance")
+	rejected := []struct {
+		clause string
+		want   string // the offending aggregate the message must name
+	}{
+		{`SUCH THAT MIN(P.calories) = 500`, "MIN(R.calories)"},
+		{`SUCH THAT AVG(P.calories) = 800`, "AVG(R.calories)"},
+		{`SUCH THAT SUM(P.calories) <> 800`, "SUM(R.calories)"},
+	}
+	for _, tc := range rejected {
+		prep, err := core.Prepare(db, "SELECT PACKAGE(R) AS P FROM recipes R "+tc.clause)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = sketch.Applicable(prep.Instance)
+		if err == nil {
+			t.Errorf("%s should not be sketch-applicable", tc.clause)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error should name %s, got: %v", tc.clause, tc.want, err)
+		}
+		if _, serr := sketch.Solve(prep.Instance, sketch.Options{}); serr == nil {
+			t.Errorf("%s: Solve should refuse a non-applicable instance", tc.clause)
+		}
 	}
 }
 

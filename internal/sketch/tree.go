@@ -13,10 +13,22 @@ import (
 // level. Every node covers the candidate tuples of its whole subtree
 // and carries a representative over them (mean for numeric columns,
 // mode otherwise), so a sketch MILP can run at any level of the tree.
+//
+// Besides the representative, every node carries a per-attribute
+// min/max envelope over its subtree (the billion-tuple follow-up's
+// soundness device for hierarchical pruning): Lo/Hi/NonNull are
+// parallel to Tree.Attrs and record, per split attribute, the smallest
+// and largest non-NULL value any covered tuple holds and how many
+// tuples are non-NULL. MIN/MAX atom relaxation reads them to decide in
+// O(1) whether a whole subtree violates a bound (prune it from the
+// sketch MILP) or can still supply a witness.
 type Node struct {
 	Children []int      // indexes into the next-deeper level; nil for leaves
 	Tuples   []int      // covered candidate indexes, sorted ascending
 	Rep      schema.Row // representative tuple over Tuples
+	Lo       []float64  // per-attr subtree minimum over non-NULL values
+	Hi       []float64  // per-attr subtree maximum over non-NULL values
+	NonNull  []int      // per-attr count of non-NULL values in the subtree
 }
 
 // Tree is a hierarchical partitioning of the candidates (the PVLDB 2023
@@ -68,9 +80,10 @@ func BuildTree(inst *search.Instance, opts Options) *Tree {
 	base := Partition(inst, opts)
 	t := &Tree{Attrs: base.Attrs, Tau: base.Tau, Depth: 1}
 	leaves := make([]Node, len(base.Groups))
-	for i, g := range base.Groups {
-		leaves[i] = Node{Tuples: g, Rep: base.Reps[i]}
-	}
+	parallelFor(opts.workers(), len(base.Groups), func(i int) {
+		leaves[i] = Node{Tuples: base.Groups[i], Rep: base.Reps[i]}
+		leaves[i].Lo, leaves[i].Hi, leaves[i].NonNull = envelope(inst.Rows, base.Groups[i], base.Attrs)
+	})
 	t.Levels = [][]Node{leaves}
 	depth := opts.depth()
 	if depth <= 1 || len(leaves) == 0 {
@@ -116,6 +129,59 @@ func groupLevel(inst *search.Instance, children []Node, attrs []int, fanout int,
 		}
 		sort.Ints(tuples)
 		parents[pi] = Node{Children: g, Tuples: tuples, Rep: representative(inst.Rows, tuples)}
+		parents[pi].Lo, parents[pi].Hi, parents[pi].NonNull = mergeEnvelopes(children, g, len(attrs))
 	})
 	return parents
+}
+
+// envelope scans a tuple set and returns its per-attribute min/max
+// envelope: for each split attribute, the smallest and largest value
+// among non-NULL cells (non-numeric cells count as 0, matching the
+// selector-atom value lens) and the non-NULL count. Constant (0, 0)
+// bounds mark attributes with no non-NULL value.
+func envelope(rows []schema.Row, tuples, attrs []int) (lo, hi []float64, nonNull []int) {
+	lo = make([]float64, len(attrs))
+	hi = make([]float64, len(attrs))
+	nonNull = make([]int, len(attrs))
+	for ai, a := range attrs {
+		for _, i := range tuples {
+			if a >= len(rows[i]) || rows[i][a].IsNull() {
+				continue
+			}
+			v, _ := rows[i][a].AsFloat()
+			if nonNull[ai] == 0 || v < lo[ai] {
+				lo[ai] = v
+			}
+			if nonNull[ai] == 0 || v > hi[ai] {
+				hi[ai] = v
+			}
+			nonNull[ai]++
+		}
+	}
+	return lo, hi, nonNull
+}
+
+// mergeEnvelopes folds the envelopes of a parent's children (disjoint
+// tuple sets) into the parent's — exactly the envelope a fresh scan of
+// the tuple union would produce, at a fraction of the cost.
+func mergeEnvelopes(children []Node, group []int, nAttrs int) (lo, hi []float64, nonNull []int) {
+	lo = make([]float64, nAttrs)
+	hi = make([]float64, nAttrs)
+	nonNull = make([]int, nAttrs)
+	for ai := 0; ai < nAttrs; ai++ {
+		for _, ci := range group {
+			c := &children[ci]
+			if c.NonNull[ai] == 0 {
+				continue
+			}
+			if nonNull[ai] == 0 || c.Lo[ai] < lo[ai] {
+				lo[ai] = c.Lo[ai]
+			}
+			if nonNull[ai] == 0 || c.Hi[ai] > hi[ai] {
+				hi[ai] = c.Hi[ai]
+			}
+			nonNull[ai] += c.NonNull[ai]
+		}
+	}
+	return lo, hi, nonNull
 }

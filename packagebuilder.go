@@ -46,6 +46,15 @@
 // WithSketchPersistDir(dir) adds an on-disk tier under the LRU so a new
 // process skips the offline step as well.
 //
+// SketchRefine covers the full PaQL atom grammar, not just conjunctive
+// SUM/COUNT comparisons: AVG atoms are linearized as SUM − c·COUNT with
+// a non-empty guard, MIN/MAX atoms are enforced through per-node
+// min/max envelopes carried by the partition tree (exactly at the
+// leaves, as sound pruning at every sketch level), and disjunctions
+// expand to DNF with one sketch descent per branch — the best feasible
+// branch wins. Stats report the branch and rewrite counts
+// (SketchBranches / SketchAtomRewrites).
+//
 // Typical use:
 //
 //	sys := packagebuilder.New()

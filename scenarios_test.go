@@ -173,3 +173,101 @@ func TestPerTupleProductIsLinear(t *testing.T) {
 			res.Stats.Linear, res.Stats.Exact)
 	}
 }
+
+// TestScenarioAtomStrategyMatrix is the full grammar × strategy ×
+// multiplicity grid: every PaQL atom kind the engines support runs
+// end-to-end through the public API under the exact solver, under
+// SketchRefine, and under Auto — plain, with REPEAT, and with a pinned
+// tuple — so each newly supported atom has system-level coverage, not
+// just unit tests. SketchRefine combinations additionally assert the
+// query stayed on the sketch path (no silent fallback to exact).
+func TestScenarioAtomStrategyMatrix(t *testing.T) {
+	sys := pb.New()
+	if err := dataset.LoadRecipes(sys.DB(), "recipes", dataset.RecipesConfig{N: 300, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	// A pinnable tuple admissible under every atom clause below
+	// (protein >= 6, calories <= 800). With no WHERE clause, candidate
+	// indexes equal table row indexes.
+	tab, _ := sys.DB().Table("recipes")
+	pin := -1
+	for i, row := range tab.Rows {
+		cal, _ := row[5].AsFloat()
+		prot, _ := row[6].AsFloat()
+		if prot >= 6 && cal <= 800 {
+			pin = i
+			break
+		}
+	}
+	if pin < 0 {
+		t.Fatal("no pinnable recipe in the dataset")
+	}
+
+	atoms := []struct{ name, clause string }{
+		{"sum", "SUM(P.calories) BETWEEN 1200 AND 2600"},
+		{"count-filter", "COUNT(* WHERE P.gluten = 'free') >= 1"},
+		{"avg", "AVG(P.calories) <= 820"},
+		{"min", "MIN(P.protein) >= 5"},
+		{"max", "MAX(P.calories) <= 980"},
+		{"disjunction", "(AVG(P.calories) <= 700 OR SUM(P.calories) <= 2600)"},
+	}
+	strategies := []struct {
+		name string
+		st   pb.Strategy
+	}{
+		{"solver", pb.Solver},
+		{"sketch", pb.SketchRefine},
+		{"auto", pb.Auto},
+	}
+	modes := []struct {
+		name   string
+		repeat string
+		opts   []pb.Option
+	}{
+		{"plain", "", nil},
+		{"repeat", " REPEAT 1", nil},
+		{"require", "", []pb.Option{pb.WithRequire(pin)}},
+	}
+	for _, atom := range atoms {
+		for _, strat := range strategies {
+			for _, mode := range modes {
+				name := atom.name + "/" + strat.name + "/" + mode.name
+				t.Run(name, func(t *testing.T) {
+					query := `SELECT PACKAGE(R) AS P FROM recipes R` + mode.repeat + `
+						SUCH THAT COUNT(*) = 3 AND ` + atom.clause + `
+						MAXIMIZE SUM(P.protein)`
+					opts := append([]pb.Option{pb.WithStrategy(strat.st), pb.WithSeed(1)}, mode.opts...)
+					res, err := sys.Query(query, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(res.Packages) == 0 {
+						t.Fatalf("no package (notes: %v)", res.Stats.Notes)
+					}
+					p := res.Packages[0]
+					if p.Size() != 3 {
+						t.Errorf("package size %d, want 3", p.Size())
+					}
+					if strat.st == pb.SketchRefine {
+						if res.Stats.Strategy != pb.SketchRefine {
+							t.Fatalf("sketch fell back to %v (notes: %v)", res.Stats.Strategy, res.Stats.Notes)
+						}
+						if res.Stats.SketchLevels < 1 {
+							t.Errorf("SketchLevels = %d, want >= 1", res.Stats.SketchLevels)
+						}
+					}
+					if mode.name == "require" && p.Mult[pin] < 1 {
+						t.Errorf("pinned candidate %d missing from the package", pin)
+					}
+					if mode.name == "repeat" {
+						for i, m := range p.Mult {
+							if m > 2 {
+								t.Errorf("candidate %d multiplicity %d exceeds REPEAT 1", i, m)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
