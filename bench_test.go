@@ -20,6 +20,7 @@ import (
 	"repro/internal/search"
 	"repro/internal/sketch"
 	"repro/internal/translate"
+	"repro/internal/value"
 	"repro/internal/viz"
 )
 
@@ -368,6 +369,60 @@ func BenchmarkE11_FullGrammarSketch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkE12_IncrementalMaintenance compares tree readiness after a
+// 1% write batch: a full rebuild of the partition tree versus
+// Tree.ApplyDelta patching the stale tree through the real lineage
+// pipeline (minidb delta log → fingerprint memo → remap). cmd/pbench
+// -exp e12 prints the matching table with the 100k/1M points and the
+// 0.1%/1%/10% batch sweep.
+func BenchmarkE12_IncrementalMaintenance(b *testing.B) {
+	n := 20000
+	db := benchDB(b, n)
+	prep, err := core.Prepare(db, benchMealQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := sketch.Options{MaxPartitionSize: 64, Depth: 2, Seed: 1}
+	memo := core.NewFingerprintMemo()
+	memo.Advance(prep)
+	base := sketch.BuildTree(prep.Instance, opts)
+
+	batch := n / 100
+	rows := dataset.Recipes(dataset.RecipesConfig{N: batch, Seed: 7})
+	for i := range rows {
+		rows[i][0] = value.Int(int64(n + 1000000 + i))
+	}
+	if err := db.InsertRows("recipes", rows); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec(fmt.Sprintf("DELETE FROM recipes WHERE id > %d AND id <= %d", n/2, n/2+batch/5)); err != nil {
+		b.Fatal(err)
+	}
+	prep2, err := core.Prepare(db, benchMealQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, patch := memo.Advance(prep2)
+	if patch == nil {
+		b.Fatal("no patch lineage")
+	}
+	b.Run(fmt.Sprintf("rebuild/n=%d/batch=1%%", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if tree := sketch.BuildTree(prep2.Instance, opts); len(tree.Leaves()) == 0 {
+				b.Fatal("empty tree")
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("apply-delta/n=%d/batch=1%%", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			patched, ok := base.ApplyDelta(prep2.Instance.Rows, patch.Remap, opts)
+			if !ok || len(patched.Leaves()) == 0 {
+				b.Fatal("patch failed")
+			}
+		}
+	})
 }
 
 // BenchmarkSketchPartition isolates the offline partitioning step.

@@ -29,6 +29,11 @@
 // linearized, MIN/MAX atoms are enforced via partition envelopes, and
 // disjunctions descend one DNF branch each (the result notes report the
 // branch and rewrite counts).
+//
+// In the REPL, INSERT/DELETE statements between package queries patch
+// the cached partition tree in place instead of forcing a rebuild
+// (-sketch-incr, on by default), and repeat queries over unchanged
+// tables skip candidate fingerprint hashing entirely.
 package main
 
 import (
@@ -64,6 +69,7 @@ func main() {
 	sketchCache := flag.Bool("sketch-cache", true, "cache sketch-refine partition trees across REPL queries (one-shot runs never cache)")
 	sketchPar := flag.Int("sketch-par", 0, "sketch-refine worker count (0 = one per CPU, 1 = serial)")
 	sketchDir := flag.String("sketch-dir", "", "persist sketch-refine partition trees to this directory (cold starts load instead of rebuilding)")
+	sketchIncr := flag.Bool("sketch-incr", true, "patch cached sketch-refine partition trees in place after INSERT/DELETE instead of rebuilding (REPL sessions)")
 	flag.Parse()
 
 	sys := pb.New()
@@ -96,7 +102,7 @@ func main() {
 		strategy: *strategy, limit: *limit, diverse: *diverse, seed: *seed,
 		sketchSize: *sketchSize, sketchParts: *sketchParts,
 		sketchDepth: *sketchDepth, sketchCache: *sketchCache,
-		sketchPar: *sketchPar, sketchDir: *sketchDir,
+		sketchPar: *sketchPar, sketchDir: *sketchDir, sketchIncr: *sketchIncr,
 	}
 	if text == "" {
 		repl(sys, cli)
@@ -124,6 +130,7 @@ type cliOpts struct {
 	sketchCache bool
 	sketchPar   int
 	sketchDir   string
+	sketchIncr  bool
 }
 
 func runQuery(sys *pb.System, text string, cli cliOpts) {
@@ -166,6 +173,7 @@ func buildOpts(cli cliOpts) ([]pb.Option, error) {
 		opts = append(opts, pb.WithSketchPersistDir(cli.sketchDir))
 	}
 	opts = append(opts, pb.WithSketchCache(cli.sketchCache))
+	opts = append(opts, pb.WithSketchIncremental(cli.sketchIncr))
 	return opts, nil
 }
 

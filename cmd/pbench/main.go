@@ -1,6 +1,6 @@
 // Command pbench regenerates every experiment in EXPERIMENTS.md: the
 // Figure 1 interface reproduction (F1) and the quantitative experiments
-// E1-E11 derived from the paper's §4 evaluation techniques, §5 research
+// E1-E12 derived from the paper's §4 evaluation techniques, §5 research
 // directions, and the SketchRefine follow-up papers.
 //
 // Usage:
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: f1, e1..e11, all")
+	exp := flag.String("exp", "all", "experiment to run: f1, e1..e12, all")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	seed := flag.Int64("seed", 42, "synthetic dataset seed")
 	flag.Parse()

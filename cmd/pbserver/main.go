@@ -44,20 +44,31 @@ const maxBodyBytes = 1 << 20
 type server struct {
 	db    *minidb.DB
 	cache *sketch.Cache
+	// memo is the engine-level candidate-fingerprint memo shared with
+	// cache: warm sketch evaluations over unchanged data hash zero
+	// candidate rows, and after writes the delta lineage it tracks lets
+	// the cached tree be patched in place (incremental maintenance,
+	// -sketch-incr).
+	memo *core.FingerprintMemo
 	// persistDir, when non-empty, backs the cache with an on-disk tree
 	// store (-sketch-dir): a server restart then skips the offline
 	// partitioning step. It is a server flag, never request data — a
 	// client must not choose where the server writes.
 	persistDir string
+	// incremental is the -sketch-incr server default; a request's
+	// sketchIncr field can switch tree patching off per query.
+	incremental bool
 
 	mu  sync.RWMutex
 	ses *explore.Session // one demo session, like the booth kiosk
 }
 
 // newServer builds a server over a loaded database with an empty
-// partition-tree cache, persisting trees under persistDir when set.
-func newServer(db *minidb.DB, persistDir string) *server {
-	return &server{db: db, cache: sketch.NewCache(0), persistDir: persistDir}
+// partition-tree cache and fingerprint memo, persisting trees under
+// persistDir when set.
+func newServer(db *minidb.DB, persistDir string, incremental bool) *server {
+	return &server{db: db, cache: sketch.NewCache(0), memo: core.NewFingerprintMemo(),
+		persistDir: persistDir, incremental: incremental}
 }
 
 // session returns the current exploration session or an error when no
@@ -76,13 +87,14 @@ func main() {
 	n := flag.Int("n", 500, "recipe count")
 	seed := flag.Int64("seed", 42, "dataset seed")
 	sketchDir := flag.String("sketch-dir", "", "persist sketch-refine partition trees to this directory (survives restarts)")
+	sketchIncr := flag.Bool("sketch-incr", true, "patch cached sketch-refine partition trees in place after writes instead of rebuilding")
 	flag.Parse()
 
 	db := minidb.New()
 	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: *n, Seed: *seed}); err != nil {
 		log.Fatal(err)
 	}
-	s := newServer(db, *sketchDir)
+	s := newServer(db, *sketchDir, *sketchIncr)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -150,10 +162,14 @@ func (s *server) packageJSON(ses *explore.Session, p *core.Package, stats *core.
 			out.Stats["sketchAtomRewrites"] = stats.SketchAtomRewrites
 			out.Stats["sketchCacheHit"] = stats.SketchCacheHit
 			out.Stats["sketchTreeLoaded"] = stats.SketchTreeLoaded
+			out.Stats["sketchTreePatched"] = stats.SketchTreePatched
+			out.Stats["sketchDeltaApplied"] = stats.SketchDeltaApplied
 			out.Stats["sketchWorkers"] = stats.SketchWorkers
 			cs := s.cache.Stats()
 			out.Stats["sketchCacheHits"] = cs.Hits
 			out.Stats["sketchCacheMisses"] = cs.Misses
+			ms := s.memo.Stats()
+			out.Stats["sketchFPRowsHashed"] = ms.RowsHashed
 		}
 	}
 	return out
@@ -171,13 +187,19 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Strategy    string `json:"strategy"`    // "", "auto", "solver", "sketch-refine", ...
 		SketchDepth int    `json:"sketchDepth"` // 0/1 = flat, >=2 hierarchical
 		SketchPar   int    `json:"sketchPar"`   // sketch workers: 0 = one per CPU, 1 = serial
+		SketchIncr  *bool  `json:"sketchIncr"`  // tree patching after writes; nil = server default
 	}
 	if err := decodeJSON(w, r, &req); err != nil {
 		httpErr(w, err)
 		return
 	}
+	incremental := s.incremental
+	if req.SketchIncr != nil {
+		incremental = *req.SketchIncr
+	}
 	opts := core.Options{Seed: 1, SketchCache: s.cache, SketchDepth: req.SketchDepth,
-		SketchParallelism: req.SketchPar, SketchPersistDir: s.persistDir}
+		SketchParallelism: req.SketchPar, SketchPersistDir: s.persistDir,
+		SketchMemo: s.memo, SketchIncremental: incremental}
 	if req.Strategy != "" {
 		st, err := core.ParseStrategy(req.Strategy)
 		if err != nil {
@@ -277,7 +299,8 @@ func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	// prep.Run is a pure read over the prepared query and the database;
 	// it needs no lock, so summaries render concurrently too.
-	res, err := prep.Run(core.Options{Limit: 9, Seed: 1, SketchCache: s.cache, SketchPersistDir: s.persistDir})
+	res, err := prep.Run(core.Options{Limit: 9, Seed: 1, SketchCache: s.cache,
+		SketchPersistDir: s.persistDir, SketchMemo: s.memo, SketchIncremental: s.incremental})
 	if err != nil {
 		httpErr(w, err)
 		return
@@ -369,6 +392,7 @@ function render(p) {
       if (p.stats.sketchAtomRewrites > 0) sk += ', ' + p.stats.sketchAtomRewrites + ' atom rewrites';
       if (p.stats.sketchCacheHit) sk += ', cached tree';
       if (p.stats.sketchTreeLoaded) sk += ', tree from disk';
+      if (p.stats.sketchTreePatched) sk += ', tree patched (' + p.stats.sketchDeltaApplied + ' tuples changed)';
       if (p.stats.sketchWorkers > 1) sk += ', ' + p.stats.sketchWorkers + ' workers';
       sk += ')';
     }

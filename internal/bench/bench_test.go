@@ -23,6 +23,7 @@ func TestExperimentsQuick(t *testing.T) {
 		{"e7", []string{"selection", "min-distance", "diverse"}},
 		{"e9", []string{"hierarchical", "top-vars", "warm cache", "true"}},
 		{"e10", []string{"parallel", "speedup-vs-serial", "disk-warm cold start", "loaded"}},
+		{"e12", []string{"incremental tree maintenance", "rebuild", "patch", "speedup"}},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -139,6 +139,20 @@ type Options struct {
 	// SketchNoCache suppresses the engine-level shared cache injection
 	// (ablation / -sketch-cache=false).
 	SketchNoCache bool
+	// SketchMemo, when set, memoizes candidate fingerprints per
+	// (table, WHERE) across evaluations: warm sketch queries over an
+	// unchanged table perform zero candidate hashing, and after writes
+	// only the delta is hashed. System and pbserver share one memo
+	// across queries, next to the partition-tree cache.
+	SketchMemo *FingerprintMemo
+	// SketchIncremental enables incremental partition-tree maintenance
+	// (requires SketchMemo): after writes, the cached tree for the
+	// pre-write data is patched in place via sketch.ApplyDelta —
+	// deletions tombstoned, insertions routed to their leaves,
+	// overgrown leaves split, representatives and envelopes refreshed
+	// bottom-up — instead of rebuilt from scratch, and the persisted
+	// tree is re-saved atomically.
+	SketchIncremental bool
 	// SketchParallelism caps the workers SketchRefine's offline
 	// partitioning and per-partition solves fan out across: 0 = one per
 	// CPU, 1 = fully serial. Results are identical at every setting.
@@ -206,6 +220,8 @@ type Stats struct {
 	SketchAtomRewrites int          // AVG/MIN/MAX atoms rewritten into sketchable rows (sketch-refine)
 	SketchCacheHit     bool         // partition tree served from the shared cache
 	SketchTreeLoaded   bool         // partition tree loaded from the on-disk store
+	SketchTreePatched  bool         // stale partition tree patched in place (incremental maintenance)
+	SketchDeltaApplied int          // tuples the tree patch inserted plus deleted
 	SketchWorkers      int          // workers the sketch-refine parallel phases used
 	Elapsed            time.Duration
 	Notes              []string // strategy decisions, fallbacks, caveats
@@ -231,6 +247,13 @@ type Prepared struct {
 	// options carry none (System.Prepare points it at the engine-level
 	// shared cache, so repeated prep.Run calls skip re-partitioning).
 	SketchCache *sketch.Cache
+	// SketchMemo is the default fingerprint memo for Run when the
+	// options carry none (System.Prepare points it at the engine-level
+	// shared memo, so repeated prep.Run calls skip candidate rehashing).
+	SketchMemo *FingerprintMemo
+	// TableVersion is the table's write version at Prepare time; the
+	// fingerprint memo keys its candidate snapshot on it.
+	TableVersion uint64
 }
 
 // Prepare parses, folds sub-queries, analyzes, and computes candidates.
@@ -275,7 +298,8 @@ func PrepareQuery(db *minidb.DB, q *paql.Query) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{DB: db, Query: q, Analysis: analysis, Table: table, Instance: inst}, nil
+	return &Prepared{DB: db, Query: q, Analysis: analysis, Table: table, Instance: inst,
+		TableVersion: table.Version()}, nil
 }
 
 // foldSubqueries evaluates scalar SQL sub-queries in SUCH THAT and the

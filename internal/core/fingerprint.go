@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/minidb"
+	"repro/internal/paql"
+	"repro/internal/sketch"
+)
+
+// FingerprintMemo makes the SketchRefine candidate fingerprint
+// incremental. The sketch cache keys on a hash of every candidate
+// cell, so a naive evaluation pays an O(n) rehash even on a fully warm
+// cache. The memo stores, per (table, WHERE) pair, the table version
+// it last saw together with one RowHash per candidate; on the next
+// evaluation it asks minidb for the delta since that version and:
+//
+//   - unchanged table → the memoized fingerprint is returned outright,
+//     with zero candidate hashing;
+//   - small write batch → only the appended rows are hashed, deleted
+//     candidates are dropped from the cached hash list, and the
+//     fingerprint is recombined from per-row hashes (never re-reading
+//     a cell) — along with a sketch.PatchSpec relating the new
+//     candidates to the old fingerprint, the lineage the sketch engine
+//     uses to patch its cached partition tree in place;
+//   - anything the delta log cannot explain → full rehash, as before.
+//
+// Safe for concurrent use. Share one memo per System/server, next to
+// the partition-tree cache.
+type FingerprintMemo struct {
+	mu         sync.Mutex
+	entries    map[memoKey]*memoEntry
+	lookups    int64
+	hits       int64
+	rowsHashed int64
+}
+
+// memoMaxEntries bounds the entry count and memoMaxRows the total
+// candidate rows retained across entries (each candidate costs two
+// machine words — an id and a row hash — so the row bound caps memo
+// memory at ~64 MB regardless of how many distinct queries hit
+// million-row tables).
+const (
+	memoMaxEntries = 32
+	memoMaxRows    = 4 << 20
+)
+
+// memoKey identifies a snapshot by table NAME, not pointer: keying on
+// the pointer would pin a dropped or replaced table (and every row it
+// holds) in the map until eviction. The entry keeps the pointer only
+// as an identity check — a recreated table under the same name fails
+// it and overwrites the entry, releasing the old rows.
+type memoKey struct {
+	table string
+	where string
+}
+
+type memoEntry struct {
+	table     *minidb.Table // identity check: the table the snapshot describes
+	version   uint64        // table version the snapshot was taken at
+	ids       []int         // candidate row ids (positions) at that version
+	rowHashes []uint64      // RowHash per candidate, parallel to ids
+	fp        uint64        // CombineRowHashes(rowHashes)
+}
+
+// NewFingerprintMemo returns an empty memo.
+func NewFingerprintMemo() *FingerprintMemo {
+	return &FingerprintMemo{entries: map[memoKey]*memoEntry{}}
+}
+
+// FingerprintMemoStats snapshots memo effectiveness: Hits counts
+// evaluations that returned a fingerprint with zero hashing, and
+// RowsHashed the candidate rows whose cells were actually hashed
+// across all lookups (the quantity incremental maintenance drives
+// toward the write volume, away from n per query).
+type FingerprintMemoStats struct {
+	Lookups    int64
+	Hits       int64
+	RowsHashed int64
+}
+
+// Stats snapshots the lookup/hit/hash counters.
+func (m *FingerprintMemo) Stats() FingerprintMemoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return FingerprintMemoStats{Lookups: m.lookups, Hits: m.hits, RowsHashed: m.rowsHashed}
+}
+
+// Advance returns the fingerprint of prep's candidate rows, hashing
+// only what changed since the memo last saw this (table, WHERE) pair,
+// and updates the snapshot to the current version. When the candidates
+// evolved from the previous snapshot by a log-explained delta, the
+// returned PatchSpec carries the lineage for in-place partition-tree
+// patching (nil when nothing changed or no lineage exists).
+func (m *FingerprintMemo) Advance(prep *Prepared) (uint64, *sketch.PatchSpec) {
+	if prep.Table == nil {
+		return sketch.Fingerprint(prep.Instance.Rows), nil
+	}
+	key := memoKey{table: prep.Table.Name, where: whereKey(prep.Query)}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lookups++
+	if e, ok := m.entries[key]; ok && e.table == prep.Table {
+		if e.version == prep.TableVersion && len(e.ids) == len(prep.Instance.IDs) {
+			m.hits++
+			return e.fp, nil
+		}
+		if fp, patch, ok := m.step(e, prep); ok {
+			return fp, patch
+		}
+	}
+	// Cold, aged-out, or inexplicable: hash every candidate once and
+	// snapshot.
+	hs := make([]uint64, len(prep.Instance.Rows))
+	for i, row := range prep.Instance.Rows {
+		hs[i] = sketch.RowHash(row)
+	}
+	m.rowsHashed += int64(len(hs))
+	fp := sketch.CombineRowHashes(hs)
+	m.put(key, &memoEntry{table: prep.Table, version: prep.TableVersion,
+		ids: prep.Instance.IDs, rowHashes: hs, fp: fp})
+	return fp, nil
+}
+
+// step advances an existing snapshot by the table's delta log: deleted
+// candidates drop out of the hash list, appended candidates are the
+// only rows hashed, and the remap tying old candidate indexes to new
+// ones becomes the patch spec. ok is false when the delta aged out of
+// the log or the observed candidates contradict the replayed delta
+// (the caller falls back to a full rehash).
+func (m *FingerprintMemo) step(e *memoEntry, prep *Prepared) (uint64, *sketch.PatchSpec, bool) {
+	delta, ok := prep.Table.DeltaSince(e.version)
+	if !ok || delta.Current != prep.TableVersion {
+		return 0, nil, false
+	}
+	inst := prep.Instance
+	remap := make([]int, len(e.ids))
+	newHashes := make([]uint64, 0, len(inst.IDs))
+	di, surv := 0, 0
+	for i, id := range e.ids {
+		for di < len(delta.Deleted) && delta.Deleted[di] < id {
+			di++
+		}
+		if di < len(delta.Deleted) && delta.Deleted[di] == id {
+			remap[i] = -1
+			continue
+		}
+		// Survivors shift down by the deletions before them; the fresh
+		// candidate scan must agree, or the delta model does not apply.
+		if surv >= len(inst.IDs) || inst.IDs[surv] != id-di {
+			return 0, nil, false
+		}
+		remap[i] = surv
+		newHashes = append(newHashes, e.rowHashes[i])
+		surv++
+	}
+	for k := surv; k < len(inst.IDs); k++ {
+		if inst.IDs[k] < delta.AppendedStart {
+			return 0, nil, false // a "new" candidate from the base region: not append-only
+		}
+		newHashes = append(newHashes, sketch.RowHash(inst.Rows[k]))
+	}
+	m.rowsHashed += int64(len(inst.IDs) - surv)
+	fp := sketch.CombineRowHashes(newHashes)
+	var patch *sketch.PatchSpec
+	if fp != e.fp {
+		patch = &sketch.PatchSpec{BaseFingerprint: e.fp, Remap: remap}
+	} else {
+		m.hits++ // writes missed the candidates entirely: still zero-rehash warm
+	}
+	e.version = prep.TableVersion
+	e.ids = inst.IDs
+	e.rowHashes = newHashes
+	e.fp = fp
+	return fp, patch, true
+}
+
+func (m *FingerprintMemo) put(k memoKey, e *memoEntry) {
+	m.entries[k] = e
+	// Evict arbitrary entries beyond either bound: the memo is a
+	// bounded snapshot store, not an LRU — a wrong eviction only costs
+	// one rehash. The freshly-inserted entry is spared so the caller's
+	// own snapshot always lands.
+	for victim := range m.entries {
+		if len(m.entries) <= memoMaxEntries && m.retainedRows() <= memoMaxRows {
+			break
+		}
+		if victim == k {
+			continue
+		}
+		delete(m.entries, victim)
+	}
+}
+
+// retainedRows sums the candidate rows snapshotted across entries.
+func (m *FingerprintMemo) retainedRows() int {
+	total := 0
+	for _, e := range m.entries {
+		total += len(e.rowHashes)
+	}
+	return total
+}
+
+// whereKey renders the base predicate into the memo key: candidate
+// sets differ per WHERE clause even over one table.
+func whereKey(q *paql.Query) string {
+	if q == nil || q.Where == nil {
+		return ""
+	}
+	return fmt.Sprintf("%v", q.Where)
+}

@@ -221,6 +221,23 @@ func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, err
 		// isolation promise holds.
 		cache = sketch.NewCache(2)
 	}
+	// Fingerprint memo: resolve the candidate fingerprint incrementally
+	// (zero hashing on an unchanged table, delta-only after writes) and,
+	// with SketchIncremental, pick up the lineage that lets a stale
+	// cached tree be patched in place instead of rebuilt.
+	memo := opts.SketchMemo
+	if memo == nil {
+		memo = p.SketchMemo
+	}
+	var fpPtr *uint64
+	var patch *sketch.PatchSpec
+	if memo != nil {
+		fp, pspec := memo.Advance(p)
+		fpPtr = &fp
+		if opts.SketchIncremental {
+			patch = pspec
+		}
+	}
 	// Options.Timeout bounds the whole evaluation: the re-solves below
 	// run on whatever budget the earlier solves left over.
 	remaining := func() (time.Duration, bool) {
@@ -241,6 +258,8 @@ func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, err
 		Require:          opts.Require,
 		Parallelism:      opts.SketchParallelism,
 		PersistDir:       opts.SketchPersistDir,
+		Fingerprint:      fpPtr,
+		Patch:            patch,
 	})
 	if err != nil {
 		return nil, err
@@ -253,6 +272,8 @@ func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, err
 	res.Stats.SketchAtomRewrites = sres.AtomRewrites
 	res.Stats.SketchCacheHit = sres.CacheHit
 	res.Stats.SketchTreeLoaded = sres.TreeLoaded
+	res.Stats.SketchTreePatched = sres.TreePatched
+	res.Stats.SketchDeltaApplied = sres.DeltaApplied
 	res.Stats.SketchWorkers = sres.Workers
 	res.Stats.Nodes += sres.Nodes
 	res.Stats.LPIters += sres.LPIters
@@ -260,7 +281,7 @@ func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, err
 	res.Stats.Notes = append(res.Stats.Notes, sres.Notes...)
 	res.Stats.Notes = append(res.Stats.Notes, fmt.Sprintf(
 		"sketch-refine: %d leaf partitions (τ bound), %d levels, %d top-level vars%s%s, %d active, %d refined, %d repaired; objective gap unproven",
-		sres.Partitions, sres.Levels, sres.TopVars, cacheNote(sres.CacheHit, sres.TreeLoaded),
+		sres.Partitions, sres.Levels, sres.TopVars, cacheNote(sres.CacheHit, sres.TreeLoaded, sres.TreePatched),
 		branchNote(sres.Branches, sres.AtomRewrites), sres.Active, sres.Refined, sres.Repaired))
 	if !sres.Feasible {
 		res.Stats.Notes = append(res.Stats.Notes,
@@ -294,6 +315,8 @@ func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, err
 					Exclude:          exclude,
 					Parallelism:      opts.SketchParallelism,
 					PersistDir:       opts.SketchPersistDir,
+					Fingerprint:      fpPtr,
+					Patch:            patch,
 				})
 				if err != nil {
 					res.Stats.Notes = append(res.Stats.Notes,
@@ -415,12 +438,14 @@ func branchNote(branches, rewrites int) string {
 	return s
 }
 
-func cacheNote(hit, loaded bool) string {
+func cacheNote(hit, loaded, patched bool) string {
 	switch {
 	case hit:
 		return " (partition tree from cache)"
 	case loaded:
 		return " (partition tree from disk)"
+	case patched:
+		return " (partition tree patched in place)"
 	}
 	return ""
 }

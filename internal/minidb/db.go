@@ -46,6 +46,11 @@ type Table struct {
 	Schema  schema.Schema
 	Rows    []schema.Row
 	indexes map[string]*btree.Tree // keyed by lower-case column name
+
+	// version and log implement the per-table write tracking DeltaSince
+	// serves (see delta.go).
+	version uint64
+	log     []deltaEntry
 }
 
 // CreateTable registers a new, empty table. Column qualifiers in the
@@ -117,6 +122,14 @@ func (db *DB) InsertRows(table string, rows []schema.Row) error {
 }
 
 func (t *Table) insert(rows []schema.Row) error {
+	// A validation failure can leave earlier rows of the batch appended;
+	// the write log must record exactly what landed.
+	appended := 0
+	defer func() {
+		if appended > 0 {
+			t.logWrite(appended, nil)
+		}
+	}()
 	for _, r := range rows {
 		vr, err := t.Schema.Validate(r)
 		if err != nil {
@@ -124,6 +137,7 @@ func (t *Table) insert(rows []schema.Row) error {
 		}
 		rid := int32(len(t.Rows))
 		t.Rows = append(t.Rows, vr)
+		appended++
 		for col, idx := range t.indexes {
 			ord, _ := t.Schema.IndexOf("", col)
 			if !vr[ord].IsNull() {

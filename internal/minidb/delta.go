@@ -1,0 +1,166 @@
+package minidb
+
+import "sort"
+
+// Write tracking: every table carries a monotonic version plus a
+// bounded log of the writes behind it, so higher layers (the sketch
+// engine's candidate-fingerprint memo and partition-tree patcher) can
+// ask "what changed since version v?" and touch only the delta instead
+// of rehashing and re-partitioning the world.
+//
+// The log exploits two invariants of this engine's write paths: INSERT
+// appends rows at the tail, and DELETE compacts the heap preserving
+// the relative order of survivors. Rows present at any base version
+// therefore always form a prefix of the current heap (in their
+// original order), and rows inserted after it form the suffix — a
+// delta is fully described by the set of base positions that vanished
+// plus the current position where the post-base suffix starts.
+
+// deltaLogMaxEntries bounds the per-table log length; one entry is
+// appended per write statement. Beyond it the oldest entries are
+// dropped and deltas from before the drop report !ok (callers fall
+// back to a full rehash/rebuild, which is always correct).
+const deltaLogMaxEntries = 1024
+
+// deltaLogMaxDeleted bounds the total deleted-position ids the log
+// retains across entries; a single huge DELETE would otherwise pin an
+// arbitrarily large slice forever.
+const deltaLogMaxDeleted = 1 << 16
+
+// deltaEntry records one write statement. preVersion/preSize describe
+// the table immediately before the write; exactly one of inserted or
+// deleted is set.
+type deltaEntry struct {
+	preVersion uint64
+	preSize    int
+	inserted   int   // rows appended at the tail
+	deleted    []int // row positions removed, ascending, in pre-write coordinates
+}
+
+// Version reports the table's monotonic write version: it starts at 0
+// and increments once per INSERT or DELETE statement that reaches the
+// table. Like Rows, it must not be read concurrently with writers
+// unless the caller serializes access (the DB methods do).
+func (t *Table) Version() uint64 { return t.version }
+
+// TableDelta describes how a table evolved from a base version to the
+// current one. Because inserts append and deletes preserve order,
+// the current heap is exactly: the base rows minus Deleted, in their
+// original order, followed by every surviving row inserted after the
+// base — the suffix starting at AppendedStart.
+type TableDelta struct {
+	Base, Current uint64
+	BaseSize      int   // heap size at the base version
+	Deleted       []int // base-coordinate positions no longer present, ascending
+	AppendedStart int   // current position where post-base rows begin
+}
+
+// DeltaSince reconstructs the delta from base to the current version.
+// ok is false when the base is unknown or has aged out of the bounded
+// log — the caller must then treat the whole table as changed.
+func (t *Table) DeltaSince(base uint64) (TableDelta, bool) {
+	d := TableDelta{Base: base, Current: t.version}
+	if base == t.version {
+		d.BaseSize = len(t.Rows)
+		d.AppendedStart = len(t.Rows)
+		return d, true
+	}
+	if base > t.version {
+		return d, false
+	}
+	// Entries carry strictly increasing preVersions; find the one the
+	// base version corresponds to.
+	idx := sort.Search(len(t.log), func(i int) bool { return t.log[i].preVersion >= base })
+	if idx == len(t.log) || t.log[idx].preVersion != base {
+		return d, false
+	}
+	d.BaseSize = t.log[idx].preSize
+	// Replay forward. deletedBase collects base-coordinate positions
+	// that vanished; insAlive counts post-base inserts still present.
+	var deletedBase []int
+	insAlive := 0
+	for _, e := range t.log[idx:] {
+		if e.inserted > 0 {
+			insAlive += e.inserted
+			continue
+		}
+		// Positions in e.deleted are coordinates of the table right
+		// before this delete: base survivors first, then live inserts.
+		baseAlive := e.preSize - insAlive
+		var newly []int
+		// Map each p-th surviving base row back to its base coordinate
+		// x = p + |{d ∈ deletedBase : d ≤ x}|. Both e.deleted and
+		// deletedBase are ascending, so one cursor (k) walks
+		// deletedBase across the whole entry — linear, not quadratic.
+		k := 0
+		for _, p := range e.deleted {
+			if p >= baseAlive {
+				insAlive--
+				continue
+			}
+			x := p + k
+			for k < len(deletedBase) && deletedBase[k] <= x {
+				x++
+				k++
+			}
+			newly = append(newly, x)
+		}
+		if len(newly) > 0 {
+			deletedBase = mergeSorted(deletedBase, newly)
+		}
+	}
+	d.Deleted = deletedBase
+	d.AppendedStart = d.BaseSize - len(deletedBase)
+	return d, true
+}
+
+// mergeSorted merges two ascending, disjoint position lists.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return append(append(out, a[i:]...), b[j:]...)
+}
+
+// logWrite appends one entry and bumps the version, trimming the log
+// to its bounds. Callers hold the DB write lock.
+func (t *Table) logWrite(inserted int, deleted []int) {
+	t.log = append(t.log, deltaEntry{
+		preVersion: t.version,
+		preSize:    t.preWriteSize(inserted, deleted),
+		inserted:   inserted,
+		deleted:    deleted,
+	})
+	t.version++
+	t.trimLog()
+}
+
+// preWriteSize reconstructs the heap size before the write being
+// logged (logWrite runs after the rows slice was already mutated).
+func (t *Table) preWriteSize(inserted int, deleted []int) int {
+	return len(t.Rows) - inserted + len(deleted)
+}
+
+func (t *Table) trimLog() {
+	total := 0
+	for _, e := range t.log {
+		total += len(e.deleted)
+	}
+	drop := 0
+	for (len(t.log)-drop > deltaLogMaxEntries) ||
+		(total > deltaLogMaxDeleted && drop < len(t.log)) {
+		total -= len(t.log[drop].deleted)
+		drop++
+	}
+	if drop > 0 {
+		t.log = append([]deltaEntry(nil), t.log[drop:]...)
+	}
+}

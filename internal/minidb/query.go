@@ -161,8 +161,8 @@ func (db *DB) runDelete(s *DeleteStmt) (*Result, error) {
 		}
 	}
 	kept := t.Rows[:0:0]
-	deleted := 0
-	for _, row := range t.Rows {
+	var deleted []int
+	for pos, row := range t.Rows {
 		del := true
 		if pred != nil {
 			ok, err := expr.EvalBool(pred, row)
@@ -172,19 +172,22 @@ func (db *DB) runDelete(s *DeleteStmt) (*Result, error) {
 			del = ok
 		}
 		if del {
-			deleted++
+			deleted = append(deleted, pos)
 		} else {
 			kept = append(kept, row)
 		}
 	}
 	t.Rows = kept
+	if len(deleted) > 0 {
+		t.logWrite(0, deleted)
+	}
 	// Row ids shifted; rebuild every index.
 	for col := range t.indexes {
 		ord, _ := t.Schema.IndexOf("", col)
 		tree := newIndexOver(t, ord)
 		t.indexes[col] = tree
 	}
-	return &Result{Affected: deleted}, nil
+	return &Result{Affected: len(deleted)}, nil
 }
 
 // Format renders the result as an aligned text table.

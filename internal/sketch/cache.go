@@ -25,29 +25,54 @@ type Key struct {
 	Seed        int64  // tie-break seed
 }
 
-// Fingerprint hashes the candidate rows (order-sensitive, every cell)
-// into the cache key. It is linear in the data but orders of magnitude
-// cheaper than partitioning, which is what a cache hit skips.
-func Fingerprint(rows []schema.Row) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(u uint64) {
-		for s := 0; s < 64; s += 8 {
-			h ^= (u >> s) & 0xff
-			h *= prime64
-		}
-	}
-	mix(uint64(len(rows)))
-	for _, row := range rows {
-		mix(uint64(len(row)))
-		for _, v := range row {
-			mix(v.Hash())
-		}
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvMix(h, u uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h ^= (u >> s) & 0xff
+		h *= fnvPrime64
 	}
 	return h
+}
+
+// RowHash hashes one candidate row (its width and every cell). The
+// fingerprint memo in core caches one RowHash per candidate so
+// incremental evaluations rehash only rows a write actually touched —
+// CombineRowHashes folds the cached hashes back into a Fingerprint
+// without ever re-reading a cell.
+func RowHash(row schema.Row) uint64 {
+	h := fnvMix(uint64(fnvOffset64), uint64(len(row)))
+	for _, v := range row {
+		h = fnvMix(h, v.Hash())
+	}
+	return h
+}
+
+// CombineRowHashes folds per-row hashes into the order-sensitive
+// dataset fingerprint: Fingerprint(rows) ==
+// CombineRowHashes(map(RowHash, rows)) by construction.
+func CombineRowHashes(hs []uint64) uint64 {
+	h := fnvMix(uint64(fnvOffset64), uint64(len(hs)))
+	for _, rh := range hs {
+		h = fnvMix(h, rh)
+	}
+	return h
+}
+
+// Fingerprint hashes the candidate rows (order-sensitive, every cell)
+// into the cache key. It is linear in the data but orders of magnitude
+// cheaper than partitioning, which is what a cache hit skips; callers
+// on the warm path avoid even this by memoizing RowHash per row and
+// recombining (see core's fingerprint memo).
+func Fingerprint(rows []schema.Row) uint64 {
+	hs := make([]uint64, len(rows))
+	for i, row := range rows {
+		hs[i] = RowHash(row)
+	}
+	return CombineRowHashes(hs)
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.

@@ -1,0 +1,321 @@
+package sketch_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/minidb"
+	"repro/internal/schema"
+	"repro/internal/sketch"
+	"repro/internal/value"
+)
+
+// deltaFixture builds a prepared meal query over n recipes, returning
+// the db and prep for follow-up writes.
+func deltaFixture(t *testing.T, n int) (*minidb.DB, *core.Prepared) {
+	t.Helper()
+	db := minidb.New()
+	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: n, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	prep, err := core.Prepare(db, mealQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, prep
+}
+
+// remapByID matches old candidates to new ones through the unique id
+// column — the ground-truth lineage the fingerprint memo derives from
+// the delta log.
+func remapByID(oldRows, newRows []schema.Row) []int {
+	pos := map[string]int{}
+	for j, row := range newRows {
+		pos[row[0].String()] = j
+	}
+	remap := make([]int, len(oldRows))
+	for i, row := range oldRows {
+		if j, ok := pos[row[0].String()]; ok {
+			remap[i] = j
+		} else {
+			remap[i] = -1
+		}
+	}
+	return remap
+}
+
+// checkTree verifies the structural invariants a patched tree must
+// keep: exact coverage at every level, children partitioning parents,
+// leaf sizes within τ, and exact leaf envelopes.
+func checkTree(t *testing.T, tree *sketch.Tree, rows []schema.Row) {
+	t.Helper()
+	n := len(rows)
+	for l, nodes := range tree.Levels {
+		seen := map[int]bool{}
+		for ni := range nodes {
+			nd := &nodes[ni]
+			if len(nd.Tuples) == 0 {
+				t.Fatalf("level %d node %d empty", l, ni)
+			}
+			prev := -1
+			for _, i := range nd.Tuples {
+				if i <= prev {
+					t.Fatalf("level %d node %d tuples not strictly ascending", l, ni)
+				}
+				prev = i
+				if i < 0 || i >= n {
+					t.Fatalf("level %d node %d tuple %d outside [0,%d)", l, ni, i, n)
+				}
+				if seen[i] {
+					t.Fatalf("level %d covers tuple %d twice", l, i)
+				}
+				seen[i] = true
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("level %d covers %d of %d candidates", l, len(seen), n)
+		}
+	}
+	for l := 0; l < tree.Depth-1; l++ {
+		for ni := range tree.Levels[l] {
+			covered := 0
+			for _, ci := range tree.Levels[l][ni].Children {
+				covered += len(tree.Levels[l+1][ci].Tuples)
+			}
+			if covered != len(tree.Levels[l][ni].Tuples) {
+				t.Fatalf("level %d node %d: %d tuples vs %d under children",
+					l, ni, len(tree.Levels[l][ni].Tuples), covered)
+			}
+		}
+	}
+	for li := range tree.Leaves() {
+		leaf := &tree.Leaves()[li]
+		if len(leaf.Tuples) > tree.Tau {
+			t.Fatalf("leaf %d holds %d tuples, τ = %d", li, len(leaf.Tuples), tree.Tau)
+		}
+	}
+}
+
+func TestApplyDeltaInsertAndDelete(t *testing.T) {
+	db, prep := deltaFixture(t, 600)
+	opts := sketch.Options{MaxPartitionSize: 16, Depth: 2, Seed: 1}
+	base := sketch.BuildTree(prep.Instance, opts)
+
+	// Mixed batch: delete a slice of candidates, insert gluten-free
+	// rows (which enter the candidate set) and one gluten-full row
+	// (which does not).
+	if _, err := db.Exec("DELETE FROM recipes WHERE id >= 40 AND id < 55"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		stmt := fmt.Sprintf("INSERT INTO recipes VALUES (%d, 'new%d', 'fusion', 'dinner', 'free', %d, %d, 10, 50, 9.5, 4.5)",
+			90000+i, i, 600+40*i, 20+i)
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Exec("INSERT INTO recipes VALUES (99999, 'full', 'fusion', 'dinner', 'full', 700, 30, 10, 50, 9.5, 4.5)"); err != nil {
+		t.Fatal(err)
+	}
+	prep2, err := core.Prepare(db, mealQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remap := remapByID(prep.Instance.Rows, prep2.Instance.Rows)
+
+	patched, ok := base.ApplyDelta(prep2.Instance.Rows, remap, opts)
+	if !ok {
+		t.Fatal("ApplyDelta rejected a small mixed batch")
+	}
+	if patched.Depth != base.Depth || patched.Tau != base.Tau {
+		t.Fatalf("patched shape %d/%d, want %d/%d", patched.Depth, patched.Tau, base.Depth, base.Tau)
+	}
+	if !patched.Patched || base.Patched {
+		t.Fatalf("provenance flags wrong: patched=%v base=%v", patched.Patched, base.Patched)
+	}
+	checkTree(t, patched, prep2.Instance.Rows)
+
+	// The patched tree must answer the query like a rebuilt one.
+	cache := sketch.NewCache(0)
+	fp := sketch.Fingerprint(prep2.Instance.Rows)
+	baseFP := sketch.Fingerprint(prep.Instance.Rows)
+	warm := opts
+	warm.Cache = cache
+	// Seed the cache with the base tree under the base fingerprint,
+	// then solve with lineage: the engine must patch, not rebuild.
+	bres, err := sketch.Solve(prep.Instance, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.TreePatched {
+		t.Fatal("cold solve cannot patch")
+	}
+	warm.Fingerprint = &fp
+	warm.Patch = &sketch.PatchSpec{BaseFingerprint: baseFP, Remap: remap}
+	pres, err := sketch.Solve(prep2.Instance, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pres.TreePatched {
+		t.Fatalf("solve did not patch the stale tree: %+v", pres.Notes)
+	}
+	if pres.DeltaApplied == 0 {
+		t.Fatal("DeltaApplied not reported")
+	}
+	rres, err := sketch.Solve(prep2.Instance, opts) // rebuild from scratch
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Feasible != rres.Feasible {
+		t.Fatalf("feasibility diverged: patched %v vs rebuilt %v", pres.Feasible, rres.Feasible)
+	}
+	if pres.Feasible {
+		if ok, err := prep2.Instance.Validate(pres.Mult); err != nil || !ok {
+			t.Fatalf("patched package invalid (ok=%v err=%v)", ok, err)
+		}
+	}
+}
+
+func TestApplyDeltaRoutesInsertsToLeaves(t *testing.T) {
+	_, prep := deltaFixture(t, 400)
+	opts := sketch.Options{MaxPartitionSize: 16, Depth: 2, Seed: 3}
+	base := sketch.BuildTree(prep.Instance, opts)
+	nOld := len(prep.Instance.Rows)
+
+	// Pure appends: clone the candidate rows and add copies of an
+	// existing tuple — they must land in some leaf, splitting it if τ
+	// overflows, with every other leaf untouched.
+	rows := append([]schema.Row{}, prep.Instance.Rows...)
+	for i := 0; i < 40; i++ {
+		rows = append(rows, prep.Instance.Rows[i%7])
+	}
+	remap := make([]int, nOld)
+	for i := range remap {
+		remap[i] = i
+	}
+	patched, ok := base.ApplyDelta(rows, remap, opts)
+	if !ok {
+		t.Fatal("ApplyDelta rejected a pure append batch")
+	}
+	checkTree(t, patched, rows)
+	if len(patched.Leaves()) < len(base.Leaves()) {
+		t.Fatalf("leaf count shrank: %d -> %d", len(base.Leaves()), len(patched.Leaves()))
+	}
+	// The base tree must be untouched (it is shared in caches).
+	checkTree(t, base, prep.Instance.Rows)
+	total := 0
+	for li := range base.Leaves() {
+		total += len(base.Leaves()[li].Tuples)
+	}
+	if total != nOld {
+		t.Fatalf("base tree mutated: covers %d of %d", total, nOld)
+	}
+}
+
+func TestApplyDeltaRejectsOversizedDelta(t *testing.T) {
+	_, prep := deltaFixture(t, 200)
+	opts := sketch.Options{MaxPartitionSize: 16, Depth: 2, Seed: 1}
+	base := sketch.BuildTree(prep.Instance, opts)
+	n := len(prep.Instance.Rows)
+	// Delete half the candidates: far past DeltaMaxFrac.
+	rows := prep.Instance.Rows[:n/2]
+	remap := make([]int, n)
+	for i := range remap {
+		if i < n/2 {
+			remap[i] = i
+		} else {
+			remap[i] = -1
+		}
+	}
+	if _, ok := base.ApplyDelta(rows, remap, opts); ok {
+		t.Fatal("ApplyDelta absorbed a 50% delta; it must rebuild")
+	}
+	// A caller can widen the budget explicitly.
+	wide := opts
+	wide.DeltaMaxFrac = 2
+	patched, ok := base.ApplyDelta(rows, remap, wide)
+	if !ok {
+		t.Fatal("explicit DeltaMaxFrac budget ignored")
+	}
+	checkTree(t, patched, rows)
+}
+
+// TestPatchedProvenanceTriggersRebuildRetry pins the safety net across
+// solves: a patched-born tree served from the CACHE (not patched in
+// this call) that yields no feasible package must still trigger the
+// rebuild-from-scratch retry — the Patched provenance flag travels
+// with the tree. The fixture tree lies: its representatives promise a
+// sum its real tuples cannot deliver, and it omits the only feasible
+// pair, so the descent refines into an invalid package; only a rebuild
+// finds {60, 40}.
+func TestPatchedProvenanceTriggersRebuildRetry(t *testing.T) {
+	db := minidb.New()
+	for _, stmt := range []string{
+		"CREATE TABLE t (a INT)",
+		"INSERT INTO t VALUES (60), (40), (10), (11), (12), (13)",
+	} {
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prep, err := core.Prepare(db, `
+		SELECT PACKAGE(T) AS P FROM t T
+		SUCH THAT COUNT(*) = 2 AND SUM(P.a) = 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := sketch.Options{MaxPartitionSize: 2, Seed: 1}
+	lyingTree := func(patched bool) *sketch.Tree {
+		rep := func(v float64) schema.Row { return schema.Row{value.Float(v)} }
+		return &sketch.Tree{Attrs: []int{0}, Tau: 2, Depth: 1, Patched: patched,
+			Levels: [][]sketch.Node{{
+				{Tuples: []int{2, 3}, Rep: rep(50), Lo: []float64{10}, Hi: []float64{11}, NonNull: []int{2}},
+				{Tuples: []int{4, 5}, Rep: rep(50), Lo: []float64{12}, Hi: []float64{13}, NonNull: []int{2}},
+			}}}
+	}
+
+	// Patched provenance: the cache-served tree fails, the engine must
+	// rebuild and find the package.
+	cache := sketch.NewCache(0)
+	cache.Put(sketch.KeyFor(prep.Instance, opts), lyingTree(true))
+	withCache := opts
+	withCache.Cache = cache
+	res, err := sketch.Solve(prep.Instance, withCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("patched-born cached tree lost the only package; notes: %v", res.Notes)
+	}
+	if res.Mult[0] != 1 || res.Mult[1] != 1 {
+		t.Fatalf("mult = %v, want the {60, 40} pair", res.Mult)
+	}
+
+	// Same lying tree without provenance: no retry, documenting that
+	// the Patched flag is what arms the safety net.
+	cache2 := sketch.NewCache(0)
+	cache2.Put(sketch.KeyFor(prep.Instance, opts), lyingTree(false))
+	withCache.Cache = cache2
+	res2, err := sketch.Solve(prep.Instance, withCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Feasible {
+		t.Fatal("unpatched lying tree unexpectedly recovered; the fixture no longer isolates the retry")
+	}
+}
+
+func TestApplyDeltaEmptyingTreeRebuilds(t *testing.T) {
+	_, prep := deltaFixture(t, 50)
+	opts := sketch.Options{MaxPartitionSize: 8, Seed: 1, DeltaMaxFrac: 10}
+	base := sketch.BuildTree(prep.Instance, opts)
+	remap := make([]int, len(prep.Instance.Rows))
+	for i := range remap {
+		remap[i] = -1
+	}
+	if _, ok := base.ApplyDelta(nil, remap, opts); ok {
+		t.Fatal("deleting every candidate must force a rebuild")
+	}
+}

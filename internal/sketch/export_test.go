@@ -3,3 +3,11 @@ package sketch
 // ParallelForTest exposes the scheduling helper to the external test
 // package.
 var ParallelForTest = parallelFor
+
+// SetRenameHook swaps the store's rename step for fault injection
+// (crash-mid-resave tests); it returns a restore function.
+func SetRenameHook(fn func(tmp, dst string) error) (restore func()) {
+	old := renameFile
+	renameFile = fn
+	return func() { renameFile = old }
+}

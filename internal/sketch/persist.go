@@ -24,9 +24,16 @@ import (
 //	1  children/tuples + representative row per node
 //	2  adds the per-attribute min/max envelope (Lo/Hi/NonNull) each
 //	   node carries for MIN/MAX atom pruning
+//	3  the key fingerprint switched to the per-row-hash composition
+//	   (RowHash/CombineRowHashes) incremental maintenance recombines
+//	   (a v2 file's fingerprint was computed under the old mixing
+//	   order, so matching it against a v3 key could only ever be a
+//	   collision — old files fail the version check and rebuild
+//	   cleanly instead), and the tree header gains the Patched
+//	   provenance flag ApplyDelta sets
 const (
 	persistMagic   = "PBTREE"
-	persistVersion = 2
+	persistVersion = 3
 )
 
 // Store is the on-disk tier of the partition-tree cache: one file per
@@ -47,6 +54,11 @@ type Store struct {
 // NewStore returns a store rooted at dir. The directory is created on
 // the first Save.
 func NewStore(dir string) *Store { return &Store{dir: dir} }
+
+// renameFile publishes a finished temp file; tests swap it out to
+// inject a crash between writing the payload and the atomic rename
+// (the window where both the old file and the orphaned temp exist).
+var renameFile = os.Rename
 
 // Dir reports the directory backing the store.
 func (s *Store) Dir() string { return s.dir }
@@ -88,7 +100,7 @@ func (s *Store) Save(k Key, t *Tree) error {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, s.Path(k))
+		err = renameFile(tmp, s.Path(k))
 	}
 	if err != nil {
 		os.Remove(tmp)
@@ -173,6 +185,11 @@ func (e *treeEncoder) encode(k Key, t *Tree) {
 	e.deltaInts(t.Attrs)
 	e.uvarint(uint64(t.Tau))
 	e.uvarint(uint64(t.Depth))
+	patched := uint64(0)
+	if t.Patched {
+		patched = 1
+	}
+	e.uvarint(patched)
 	for _, nodes := range t.Levels {
 		e.uvarint(uint64(len(nodes)))
 		for i := range nodes {
@@ -385,6 +402,14 @@ func decodeTree(data []byte, k Key) (*Tree, error) {
 	if t.Depth < 1 || t.Depth > maxDepth {
 		return nil, fmt.Errorf("sketch: persisted tree: implausible depth %d", t.Depth)
 	}
+	patched, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("sketch: persisted tree: %w", err)
+	}
+	if patched > 1 {
+		return nil, fmt.Errorf("sketch: persisted tree: implausible patched flag %d", patched)
+	}
+	t.Patched = patched == 1
 	t.Levels = make([][]Node, t.Depth)
 	for l := range t.Levels {
 		n, err := d.count()

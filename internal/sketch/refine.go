@@ -340,19 +340,7 @@ func allocate(members []int, units int, floor, capacity func(id int) int, dist f
 // attrScales normalizes each partition attribute by its spread across
 // all candidates (1 for constant columns).
 func attrScales(inst *search.Instance, attrs []int) []float64 {
-	scales := make([]float64, len(attrs))
-	for ai, a := range attrs {
-		lo, hi := math.Inf(1), math.Inf(-1)
-		for _, row := range inst.Rows {
-			v := numAt(row, a)
-			lo, hi = math.Min(lo, v), math.Max(hi, v)
-		}
-		scales[ai] = 1
-		if hi > lo {
-			scales[ai] = hi - lo
-		}
-	}
-	return scales
+	return rowScales(inst.Rows, attrs)
 }
 
 // checkAtoms verifies every atom against the tracked sums.

@@ -20,7 +20,14 @@
 // matter how large the relation grows. An optional Cache keyed by a
 // fingerprint of the candidate rows lets repeated workloads skip the
 // offline partitioning step entirely, and Options.PersistDir backs that
-// cache with an on-disk Store so a brand-new process skips it too.
+// cache with an on-disk Store so a brand-new process skips it too. The
+// tree is a maintained structure, not a throwaway artifact: when the
+// caller supplies write lineage (Options.Patch, derived from minidb's
+// per-table delta log by core's fingerprint memo), a stale cached tree
+// is patched in place via Tree.ApplyDelta — deletions tombstoned,
+// insertions routed to their leaves, overgrown leaves split locally,
+// representatives and envelopes refreshed bottom-up — and then
+// re-persisted, instead of being rebuilt from scratch.
 //
 // The pipeline is parallel end to end: tree construction forks the
 // median splits across a worker pool (small subtrees stay serial), the
@@ -123,6 +130,29 @@ type Options struct {
 	// loaded on a cache miss (same fingerprint-based key, so stale
 	// files are never used — see Store). Empty = no persistence.
 	PersistDir string
+	// Fingerprint, when non-nil, is the precomputed fingerprint of the
+	// candidate rows (core's fingerprint memo maintains it
+	// incrementally per table version). It replaces the O(n) per-cell
+	// hash acquireTree would otherwise run on every evaluation; warm
+	// queries over unchanged data then hash nothing at all.
+	Fingerprint *uint64
+	// Patch, when non-nil, relates the current candidates to the
+	// dataset fingerprinted as Patch.BaseFingerprint: on a cache and
+	// store miss, the engine patches that base tree in place via
+	// Tree.ApplyDelta — tombstoning deletions, routing insertions to
+	// their leaves, re-splitting overgrown leaves — instead of
+	// rebuilding from scratch, and re-persists the patched tree.
+	Patch *PatchSpec
+	// DeltaMaxFrac bounds the delta ApplyDelta absorbs, as a fraction
+	// of the current candidate count (0 = DefaultDeltaMaxFrac); larger
+	// deltas rebuild.
+	DeltaMaxFrac float64
+	// forceRebuild bypasses the cache, store, and patch lookups and
+	// builds fresh, overwriting both tiers. Set internally by Solve's
+	// patched-infeasible retry: a patched tree that yields no feasible
+	// package must not be the engine's last word when a from-scratch
+	// tree could still find one.
+	forceRebuild bool
 }
 
 func (o Options) nodes() int {
@@ -165,6 +195,8 @@ type Result struct {
 	AtomRewrites int     // AVG/MIN/MAX atoms rewritten into sketchable rows
 	CacheHit     bool    // partition tree served from the cache
 	TreeLoaded   bool    // partition tree loaded from the on-disk store
+	TreePatched  bool    // stale tree patched in place via ApplyDelta
+	DeltaApplied int     // tuples the patch inserted plus deleted
 	Workers      int     // workers the parallel phases fanned out across
 	Active       int     // leaf partitions the sketch solution touched
 	Refined      int     // partitions refined via their sub-MILP
@@ -173,6 +205,12 @@ type Result struct {
 	LPIters      int     // simplex iterations across all solves
 	Notes        []string
 	Elapsed      time.Duration
+	// patchedAny records that any tree this solve descended carries
+	// patched provenance — whether ApplyDelta ran here or a
+	// patched-born tree arrived via the cache or the store. Solve's
+	// parity retry keys on it (TreePatched reflects only the last
+	// acquisition).
+	patchedAny bool
 }
 
 // Applicable reports whether the instance can be evaluated with
@@ -261,36 +299,58 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 	// no branch reaches feasibility (mirrors the single-branch contract:
 	// a best-effort package plus Feasible=false).
 	var best, fallback, last *Result
-	for bi, br := range branches {
-		ba, err := newBranchAtoms(inst, br)
-		if err != nil {
-			return nil, err
-		}
-		bres := &Result{}
-		last = bres
-		if err := solveBranch(inst, ba, exAtoms, pins, trees, opts, deadline, bres); err != nil {
-			return nil, err
-		}
-		res.Branches++
-		res.Nodes += bres.Nodes
-		res.LPIters += bres.LPIters
-		prefix := ""
-		if len(branches) > 1 {
-			prefix = fmt.Sprintf("branch %d/%d: ", bi+1, len(branches))
-		}
-		for _, note := range bres.Notes {
-			res.Notes = append(res.Notes, prefix+note)
-		}
-		if bres.Feasible {
-			if best == nil || inst.Better(bres.Objective, best.Objective) {
-				best = bres
+	for pass := 0; ; pass++ {
+		best, fallback, last = nil, nil, nil
+		for bi, br := range branches {
+			ba, err := newBranchAtoms(inst, br)
+			if err != nil {
+				return nil, err
 			}
-			if inst.Analysis.Query.Objective == nil {
-				break // any feasible branch answers an objective-free query
+			bres := &Result{}
+			last = bres
+			if err := solveBranch(inst, ba, exAtoms, pins, trees, opts, deadline, bres); err != nil {
+				return nil, err
 			}
-		} else if fallback == nil && bres.Mult != nil {
-			fallback = bres
+			res.Branches++
+			res.Nodes += bres.Nodes
+			res.LPIters += bres.LPIters
+			prefix := ""
+			if len(branches) > 1 {
+				prefix = fmt.Sprintf("branch %d/%d: ", bi+1, len(branches))
+			}
+			for _, note := range bres.Notes {
+				res.Notes = append(res.Notes, prefix+note)
+			}
+			if bres.Feasible {
+				if best == nil || inst.Better(bres.Objective, best.Objective) {
+					best = bres
+				}
+				if inst.Analysis.Query.Objective == nil {
+					break // any feasible branch answers an objective-free query
+				}
+			} else if fallback == nil && bres.Mult != nil {
+				fallback = bres
+			}
 		}
+		if best != nil || pass > 0 || !res.patchedAny {
+			break
+		}
+		// Parity retry: the descent ran over a patched tree and found no
+		// feasible package. Patched trees are approximations (merged
+		// internal representatives, nearest-leaf routing), so before
+		// declaring the query infeasible, rebuild from scratch and run
+		// once more — incremental maintenance must never lose a package
+		// a rebuild would find. The fresh tree overwrites the patched
+		// one in both cache tiers.
+		res.Notes = append(res.Notes,
+			"patched partition tree yielded no feasible package; rebuilding from scratch and retrying")
+		// Branch stats describe the pass the final answer came from;
+		// Nodes/LPIters stay cumulative (they measure real work done).
+		res.Branches = 0
+		o := opts
+		o.Patch = nil
+		o.forceRebuild = true
+		trees = &treeSource{inst: inst, opts: o, res: res}
 	}
 	pick := best
 	if pick == nil {
@@ -488,14 +548,16 @@ func pinCount(tuples []int, pins map[int]bool) int {
 }
 
 // acquireTree fetches the partition tree from the in-memory cache, then
-// from the on-disk store, and only then builds it (populating both
-// tiers). The key fingerprints the candidate rows, so any change to the
-// backing data misses in both tiers and stale trees age out (memory) or
-// are overwritten (disk). CacheHit/TreeLoaded reflect the tree this
-// call returns: a retry that rebuilds clears flags recorded by an
-// earlier attempt.
+// from the on-disk store, then — when Options.Patch supplies lineage —
+// by patching the previous dataset's tree in place, and only then
+// builds it (populating both tiers). The key fingerprints the candidate
+// rows, so any change to the backing data misses in both tiers; with a
+// Patch the stale tree is repaired via ApplyDelta and re-persisted,
+// without one a rebuild overwrites it. CacheHit/TreeLoaded/TreePatched
+// reflect the tree this call returns: a retry that rebuilds clears
+// flags recorded by an earlier attempt.
 func acquireTree(inst *search.Instance, opts Options, res *Result) *Tree {
-	res.CacheHit, res.TreeLoaded = false, false
+	res.CacheHit, res.TreeLoaded, res.TreePatched, res.DeltaApplied = false, false, false, 0
 	var store *Store
 	if opts.PersistDir != "" {
 		store = NewStore(opts.PersistDir)
@@ -503,38 +565,39 @@ func acquireTree(inst *search.Instance, opts Options, res *Result) *Tree {
 	if opts.Cache == nil && store == nil {
 		return BuildTree(inst, opts)
 	}
-	key := Key{
-		Fingerprint: Fingerprint(inst.Rows),
-		Attrs:       attrsKey(partitionAttrs(inst)),
-		Tau:         effectiveTau(len(inst.Rows), opts),
-		Depth:       opts.depth(),
-		Seed:        opts.Seed,
+	key := KeyFor(inst, opts)
+	width := 0
+	if len(inst.Rows) > 0 {
+		width = len(inst.Rows[0])
 	}
-	if opts.Cache != nil {
-		if t, ok := opts.Cache.Get(key); ok {
-			res.CacheHit = true
-			return t
-		}
-	}
-	if store != nil {
-		t, err := store.Load(key)
-		if err == nil && t != nil {
-			width := 0
-			if len(inst.Rows) > 0 {
-				width = len(inst.Rows[0])
+	if !opts.forceRebuild {
+		if opts.Cache != nil {
+			if t, ok := opts.Cache.Get(key); ok {
+				res.CacheHit = true
+				res.patchedAny = res.patchedAny || t.Patched
+				return t
 			}
-			err = t.validateAgainst(len(inst.Rows), width)
 		}
-		switch {
-		case err != nil:
-			// Corrupt, truncated, stale, or instance-mismatched files are
-			// a rebuild, never a failure: the build below overwrites them.
-			res.Notes = append(res.Notes, fmt.Sprintf("persisted partition tree unusable (%v); rebuilding", err))
-		case t != nil:
-			res.TreeLoaded = true
-			if opts.Cache != nil {
-				opts.Cache.Put(key, t)
+		if store != nil {
+			t, err := store.Load(key)
+			if err == nil && t != nil {
+				err = t.validateAgainst(len(inst.Rows), width)
 			}
+			switch {
+			case err != nil:
+				// Corrupt, truncated, stale, or instance-mismatched files are
+				// a rebuild, never a failure: the build below overwrites them.
+				res.Notes = append(res.Notes, fmt.Sprintf("persisted partition tree unusable (%v); rebuilding", err))
+			case t != nil:
+				res.TreeLoaded = true
+				res.patchedAny = res.patchedAny || t.Patched
+				if opts.Cache != nil {
+					opts.Cache.Put(key, t)
+				}
+				return t
+			}
+		}
+		if t := patchStaleTree(inst, opts, key, store, res); t != nil {
 			return t
 		}
 	}
@@ -548,6 +611,69 @@ func acquireTree(inst *search.Instance, opts Options, res *Result) *Tree {
 		}
 	}
 	return t
+}
+
+// patchStaleTree attempts incremental maintenance on an exact-key miss:
+// the tree cached (or persisted) for the pre-write dataset — the base
+// fingerprint in Options.Patch — is patched via ApplyDelta to cover the
+// current candidates, stored under the new key, and re-persisted
+// atomically. Returns nil when there is no lineage, no base tree, or
+// the delta cannot be absorbed locally (the caller then rebuilds).
+func patchStaleTree(inst *search.Instance, opts Options, key Key, store *Store, res *Result) *Tree {
+	if opts.Patch == nil || key.Fingerprint == opts.Patch.BaseFingerprint {
+		return nil
+	}
+	baseKey := key
+	baseKey.Fingerprint = opts.Patch.BaseFingerprint
+	var base *Tree
+	if opts.Cache != nil {
+		base, _ = opts.Cache.Get(baseKey)
+	}
+	if base == nil && store != nil {
+		if t, err := store.Load(baseKey); err == nil && t != nil {
+			base = t
+		}
+	}
+	if base == nil {
+		return nil
+	}
+	patched, ok := base.ApplyDelta(inst.Rows, opts.Patch.Remap, opts)
+	if !ok {
+		res.Notes = append(res.Notes, "stale partition tree not locally patchable; rebuilding")
+		return nil
+	}
+	res.TreePatched = true
+	res.patchedAny = true
+	res.DeltaApplied = opts.Patch.DeltaSize(len(inst.Rows))
+	if opts.Cache != nil {
+		opts.Cache.Put(key, patched)
+	}
+	if store != nil {
+		if err := store.Save(key, patched); err != nil {
+			res.Notes = append(res.Notes, fmt.Sprintf("could not persist patched partition tree: %v", err))
+		}
+	}
+	return patched
+}
+
+// KeyFor resolves the cache/store key an evaluation with these options
+// uses for the instance: the candidate fingerprint (Options.Fingerprint
+// when precomputed) plus every knob that shapes the tree. Exported for
+// benchmarks and tooling that pre-seed the cache.
+func KeyFor(inst *search.Instance, opts Options) Key {
+	fp := uint64(0)
+	if opts.Fingerprint != nil {
+		fp = *opts.Fingerprint
+	} else {
+		fp = Fingerprint(inst.Rows)
+	}
+	return Key{
+		Fingerprint: fp,
+		Attrs:       attrsKey(partitionAttrs(inst)),
+		Tau:         effectiveTau(len(inst.Rows), opts),
+		Depth:       opts.depth(),
+		Seed:        opts.Seed,
+	}
 }
 
 func attrsKey(attrs []int) string {

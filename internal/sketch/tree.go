@@ -46,6 +46,12 @@ type Tree struct {
 	Tau    int      // leaf size bound
 	Depth  int      // number of levels (== len(Levels)); 1 = flat
 	Levels [][]Node // Levels[0] = roots … Levels[Depth-1] = leaves
+	// Patched records that the tree came out of ApplyDelta rather than
+	// a full build. Patched trees are approximations (merged internal
+	// representatives, nearest-leaf insert routing); Solve uses the
+	// flag — which survives caching and persistence — to rebuild from
+	// scratch before ever declaring a query infeasible on one.
+	Patched bool
 }
 
 // Leaves returns the deepest level: the τ-bounded partitions.
@@ -56,7 +62,7 @@ func (t *Tree) Leaves() []Node { return t.Levels[t.Depth-1] }
 // infeasible-retry path uses it to fall back from hierarchical to flat
 // without re-running the offline partitioning.
 func (t *Tree) flatten() *Tree {
-	return &Tree{Attrs: t.Attrs, Tau: t.Tau, Depth: 1, Levels: [][]Node{t.Leaves()}}
+	return &Tree{Attrs: t.Attrs, Tau: t.Tau, Depth: 1, Levels: [][]Node{t.Leaves()}, Patched: t.Patched}
 }
 
 // leafPartitioning adapts the leaf level to the flat Partitioning view

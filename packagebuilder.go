@@ -44,7 +44,12 @@
 // the machine's cores (WithSketchParallelism tunes or disables this;
 // results are identical at any worker count), and
 // WithSketchPersistDir(dir) adds an on-disk tier under the LRU so a new
-// process skips the offline step as well.
+// process skips the offline step as well. Both tiers are maintained
+// incrementally (WithSketchIncremental, on by default): a shared
+// fingerprint memo makes warm evaluations over unchanged tables hash
+// zero candidate rows, and after INSERTs or DELETEs the stale tree is
+// patched in place — the write batch routed or tombstoned through the
+// existing structure — instead of rebuilt from scratch.
 //
 // SketchRefine covers the full PaQL atom grammar, not just conjunctive
 // SUM/COUNT comparisons: AVG atoms are linearized as SUM − c·COUNT with
@@ -88,16 +93,23 @@ import (
 type System struct {
 	db          *minidb.DB
 	sketchCache *sketch.Cache
+	sketchMemo  *core.FingerprintMemo
 }
 
 // New creates an empty system.
 func New() *System {
-	return &System{db: minidb.New(), sketchCache: sketch.NewCache(0)}
+	return &System{db: minidb.New(), sketchCache: sketch.NewCache(0),
+		sketchMemo: core.NewFingerprintMemo()}
 }
 
 // SketchCache exposes the system's shared partition-tree cache (for
 // stats inspection and explicit clearing).
 func (s *System) SketchCache() *sketch.Cache { return s.sketchCache }
+
+// SketchMemo exposes the system's shared candidate-fingerprint memo:
+// its stats report how many candidate rows were actually hashed across
+// evaluations — zero for warm queries over unchanged tables.
+func (s *System) SketchMemo() *core.FingerprintMemo { return s.sketchMemo }
 
 // DB exposes the embedded relational engine (DDL, SQL, CSV loading).
 func (s *System) DB() *minidb.DB { return s.db }
@@ -206,13 +218,28 @@ func WithSketchPersistDir(dir string) Option {
 	return func(o *core.Options) { o.SketchPersistDir = dir }
 }
 
+// WithSketchIncremental enables or disables incremental partition-tree
+// maintenance (enabled by default): after INSERTs or DELETEs, the
+// cached tree for the pre-write data is patched in place — deletions
+// tombstoned, insertions routed to their leaves, overgrown leaves
+// split locally — instead of rebuilt from scratch, and warm
+// evaluations hash only the written rows rather than every candidate.
+func WithSketchIncremental(enabled bool) Option {
+	return func(o *core.Options) { o.SketchIncremental = enabled }
+}
+
 func (s *System) buildOptions(opts []Option) core.Options {
-	var o core.Options
+	// Incremental maintenance is on by default at the System surface;
+	// WithSketchIncremental(false) opts out per query.
+	o := core.Options{SketchIncremental: true}
 	for _, fn := range opts {
 		fn(&o)
 	}
 	if o.SketchCache == nil && !o.SketchNoCache {
 		o.SketchCache = s.sketchCache
+	}
+	if o.SketchMemo == nil && !o.SketchNoCache {
+		o.SketchMemo = s.sketchMemo
 	}
 	return o
 }
@@ -223,13 +250,15 @@ func (s *System) Query(paqlText string, opts ...Option) (*Result, error) {
 }
 
 // Prepare parses and binds a PaQL query for repeated evaluation.
-// Repeated prep.Run calls share the system's partition-tree cache.
+// Repeated prep.Run calls share the system's partition-tree cache and
+// fingerprint memo.
 func (s *System) Prepare(paqlText string) (*core.Prepared, error) {
 	prep, err := core.Prepare(s.db, paqlText)
 	if err != nil {
 		return nil, err
 	}
 	prep.SketchCache = s.sketchCache
+	prep.SketchMemo = s.sketchMemo
 	return prep, nil
 }
 
