@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/explore"
@@ -423,6 +424,73 @@ func BenchmarkE12_IncrementalMaintenance(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkE13_PlannerVsHandSet compares the cost-based planner
+// (strategy and every sketch knob chosen from catalog statistics)
+// against the pre-planner hand-set defaults (flat τ=64 sketch, serial,
+// rebuild after writes) on a read-only and a write-heavy cell.
+// cmd/pbench -exp e13 prints the matching table with the 100k/1M mixed
+// workload.
+func BenchmarkE13_PlannerVsHandSet(b *testing.B) {
+	n := 20000
+	handOpts := func(db *minidb.DB) core.Options {
+		return core.Options{Strategy: core.SketchRefineStrategy, Seed: 1,
+			SketchPartitionSize: 64, SketchDepth: 1, SketchParallelism: 1,
+			SketchIncremental: false, SketchIncrementalSet: true,
+			SketchCache: sketch.NewCache(0), SketchMemo: core.NewFingerprintMemo()}
+	}
+	planOpts := func(db *minidb.DB) core.Options {
+		return core.Options{Seed: 1, SketchCache: sketch.NewCache(0),
+			SketchMemo: core.NewFingerprintMemo(), Catalog: catalog.New(db)}
+	}
+	for _, v := range []struct {
+		name string
+		opts func(*minidb.DB) core.Options
+	}{{"hand-set", handOpts}, {"planner", planOpts}} {
+		b.Run(fmt.Sprintf("read-only/%s/n=%d", v.name, n), func(b *testing.B) {
+			db := benchDB(b, n)
+			opts := v.opts(db)
+			prep, err := core.Prepare(db, benchMealQuery)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prep.Run(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("write-heavy/%s/n=%d", v.name, n), func(b *testing.B) {
+			db := benchDB(b, n)
+			opts := v.opts(db)
+			prep, err := core.Prepare(db, benchMealQuery)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := prep.Run(opts); err != nil { // warm the tree
+				b.Fatal(err)
+			}
+			batch := n / 100
+			rows := dataset.Recipes(dataset.RecipesConfig{N: batch, Seed: 7})
+			for i := range rows {
+				rows[i][0] = value.Int(int64(n + 1000000 + i))
+			}
+			if err := db.InsertRows("recipes", rows); err != nil {
+				b.Fatal(err)
+			}
+			if prep, err = core.Prepare(db, benchMealQuery); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prep.Run(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSketchPartition isolates the offline partitioning step.

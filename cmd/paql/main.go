@@ -34,12 +34,22 @@
 // the cached partition tree in place instead of forcing a rebuild
 // (-sketch-incr, on by default), and repeat queries over unchanged
 // tables skip candidate fingerprint hashing entirely.
+//
+// With no explicit strategy or knob flags, a cost-based planner picks
+// the strategy, partition size, tree depth, parallelism and
+// maintenance mode per query from table statistics. Prefix a query
+// with EXPLAIN (or pass -explain) to print the decision trail without
+// executing:
+//
+//	paql -gen recipes:100000:1 -q "EXPLAIN SELECT PACKAGE(R) AS P FROM recipes R
+//	     SUCH THAT COUNT(*) = 3 MAXIMIZE SUM(P.protein)"
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -70,7 +80,16 @@ func main() {
 	sketchPar := flag.Int("sketch-par", 0, "sketch-refine worker count (0 = one per CPU, 1 = serial)")
 	sketchDir := flag.String("sketch-dir", "", "persist sketch-refine partition trees to this directory (cold starts load instead of rebuilding)")
 	sketchIncr := flag.Bool("sketch-incr", true, "patch cached sketch-refine partition trees in place after INSERT/DELETE instead of rebuilding (REPL sessions)")
+	explain := flag.Bool("explain", false, "plan the query — print the strategy and knob decisions — without executing it")
 	flag.Parse()
+	// Only an explicit -sketch-incr on the command line forces the
+	// patch-vs-rebuild choice; otherwise the planner decides per query.
+	sketchIncrSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "sketch-incr" {
+			sketchIncrSet = true
+		}
+	})
 
 	sys := pb.New()
 	for _, spec := range csvs {
@@ -103,6 +122,7 @@ func main() {
 		sketchSize: *sketchSize, sketchParts: *sketchParts,
 		sketchDepth: *sketchDepth, sketchCache: *sketchCache,
 		sketchPar: *sketchPar, sketchDir: *sketchDir, sketchIncr: *sketchIncr,
+		sketchIncrSet: sketchIncrSet, explain: *explain,
 	}
 	if text == "" {
 		repl(sys, cli)
@@ -120,20 +140,28 @@ func main() {
 
 // cliOpts carries the evaluation flags shared by one-shot and REPL use.
 type cliOpts struct {
-	strategy    string
-	limit       int
-	diverse     bool
-	seed        int64
-	sketchSize  int
-	sketchParts int
-	sketchDepth int
-	sketchCache bool
-	sketchPar   int
-	sketchDir   string
-	sketchIncr  bool
+	strategy      string
+	limit         int
+	diverse       bool
+	seed          int64
+	sketchSize    int
+	sketchParts   int
+	sketchDepth   int
+	sketchCache   bool
+	sketchPar     int
+	sketchDir     string
+	sketchIncr    bool
+	sketchIncrSet bool
+	explain       bool
 }
 
 func runQuery(sys *pb.System, text string, cli cliOpts) {
+	if cli.explain || isExplain(text) {
+		if err := runExplain(sys, os.Stdout, text, cli); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
 	opts, err := buildOpts(cli)
 	if err != nil {
 		fail("%v", err)
@@ -143,6 +171,28 @@ func runQuery(sys *pb.System, text string, cli cliOpts) {
 		fail("%v", err)
 	}
 	pb.FormatResult(os.Stdout, sys, res)
+}
+
+// isExplain reports whether the statement starts with the EXPLAIN
+// keyword (the parser also accepts and strips it).
+func isExplain(text string) bool {
+	f := strings.Fields(strings.ToUpper(text))
+	return len(f) > 0 && f[0] == "EXPLAIN"
+}
+
+// runExplain plans the query without executing it and prints the
+// planner's decision trail.
+func runExplain(sys *pb.System, w io.Writer, text string, cli cliOpts) error {
+	opts, err := buildOpts(cli)
+	if err != nil {
+		return err
+	}
+	qp, err := sys.Explain(text, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, qp.Explain())
+	return nil
 }
 
 func buildOpts(cli cliOpts) ([]pb.Option, error) {
@@ -173,7 +223,9 @@ func buildOpts(cli cliOpts) ([]pb.Option, error) {
 		opts = append(opts, pb.WithSketchPersistDir(cli.sketchDir))
 	}
 	opts = append(opts, pb.WithSketchCache(cli.sketchCache))
-	opts = append(opts, pb.WithSketchIncremental(cli.sketchIncr))
+	if cli.sketchIncrSet {
+		opts = append(opts, pb.WithSketchIncremental(cli.sketchIncr))
+	}
 	return opts, nil
 }
 
@@ -238,6 +290,12 @@ func repl(sys *pb.System, cli cliOpts) {
 
 func execStmt(sys *pb.System, stmt string, cli cliOpts) {
 	upper := strings.ToUpper(stmt)
+	if isExplain(stmt) {
+		if err := runExplain(sys, os.Stdout, stmt, cli); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+		return
+	}
 	if strings.HasPrefix(upper, "SELECT PACKAGE") {
 		opts, err := buildOpts(cli)
 		if err != nil {

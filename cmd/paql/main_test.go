@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	pb "repro"
+	"repro/internal/dataset"
+)
+
+func testSystem(t *testing.T) *pb.System {
+	t.Helper()
+	sys := pb.New()
+	if err := dataset.LoadRecipes(sys.DB(), "recipes", dataset.RecipesConfig{N: 200, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestIsExplain(t *testing.T) {
+	cases := []struct {
+		text string
+		want bool
+	}{
+		{"EXPLAIN SELECT PACKAGE(R) AS P FROM recipes R", true},
+		{"  explain\nSELECT PACKAGE(R) AS P FROM recipes R", true},
+		{"SELECT PACKAGE(R) AS P FROM recipes R", false},
+		{"EXPLAINX SELECT", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := isExplain(c.text); got != c.want {
+			t.Errorf("isExplain(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+// TestRunExplainPrintsPlan drives the CLI explain path end-to-end: an
+// EXPLAIN-prefixed statement prints the planner's decision trail and
+// does not execute the query.
+func TestRunExplainPrintsPlan(t *testing.T) {
+	sys := testSystem(t)
+	cli := cliOpts{strategy: "auto", seed: 1, sketchIncr: true}
+	var buf strings.Builder
+	err := runExplain(sys, &buf, `EXPLAIN SELECT PACKAGE(R) AS P FROM recipes R
+		SUCH THAT COUNT(*) = 3 MAXIMIZE SUM(P.protein)`, cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"plan for:", "table recipes: 200 rows", "strategy = "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "EXPLAIN") {
+		t.Errorf("plan header kept the EXPLAIN prefix:\n%s", out)
+	}
+}
+
+// TestRunExplainForcedFlags checks explicit CLI knobs surface as forced
+// decisions in the plan instead of planner picks.
+func TestRunExplainForcedFlags(t *testing.T) {
+	sys := testSystem(t)
+	cli := cliOpts{strategy: "sketch-refine", seed: 1, sketchSize: 32, sketchDepth: 2,
+		sketchPar: 3, sketchIncr: false, sketchIncrSet: true}
+	var buf strings.Builder
+	err := runExplain(sys, &buf, `SELECT PACKAGE(R) AS P FROM recipes R
+		SUCH THAT COUNT(*) = 3 MAXIMIZE SUM(P.protein)`, cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "[forced]"); n < 5 {
+		t.Errorf("want >= 5 forced decisions (strategy, tau, depth, parallelism, maintenance), got %d:\n%s", n, out)
+	}
+	for _, want := range []string{"strategy = sketch-refine", "tau = 32", "depth = 2",
+		"parallelism = 3", "maintenance = rebuild"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}

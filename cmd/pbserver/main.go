@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/explore"
@@ -58,6 +59,9 @@ type server struct {
 	// incremental is the -sketch-incr server default; a request's
 	// sketchIncr field can switch tree patching off per query.
 	incremental bool
+	// cat is the table-statistics catalog the cost-based planner reads:
+	// row counts, attribute stats and write rates from the delta log.
+	cat *catalog.Catalog
 
 	mu  sync.RWMutex
 	ses *explore.Session // one demo session, like the booth kiosk
@@ -68,7 +72,7 @@ type server struct {
 // persistDir when set.
 func newServer(db *minidb.DB, persistDir string, incremental bool) *server {
 	return &server{db: db, cache: sketch.NewCache(0), memo: core.NewFingerprintMemo(),
-		persistDir: persistDir, incremental: incremental}
+		persistDir: persistDir, incremental: incremental, cat: catalog.New(db)}
 }
 
 // session returns the current exploration session or an error when no
@@ -171,6 +175,9 @@ func (s *server) packageJSON(ses *explore.Session, p *core.Package, stats *core.
 			ms := s.memo.Stats()
 			out.Stats["sketchFPRowsHashed"] = ms.RowsHashed
 		}
+		if stats.Plan != nil {
+			out.Stats["plannedStrategy"] = stats.Plan.Strategy
+		}
 	}
 	return out
 }
@@ -188,6 +195,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		SketchDepth int    `json:"sketchDepth"` // 0/1 = flat, >=2 hierarchical
 		SketchPar   int    `json:"sketchPar"`   // sketch workers: 0 = one per CPU, 1 = serial
 		SketchIncr  *bool  `json:"sketchIncr"`  // tree patching after writes; nil = server default
+		Explain     bool   `json:"explain"`     // plan only: return the decision trail, don't execute
 	}
 	if err := decodeJSON(w, r, &req); err != nil {
 		httpErr(w, err)
@@ -199,7 +207,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := core.Options{Seed: 1, SketchCache: s.cache, SketchDepth: req.SketchDepth,
 		SketchParallelism: req.SketchPar, SketchPersistDir: s.persistDir,
-		SketchMemo: s.memo, SketchIncremental: incremental}
+		SketchMemo: s.memo, SketchIncremental: incremental,
+		// Only an explicit request field forces patch-vs-rebuild; the
+		// server default leaves the planner in charge.
+		SketchIncrementalSet: req.SketchIncr != nil,
+		Catalog:              s.cat}
 	if req.Strategy != "" {
 		st, err := core.ParseStrategy(req.Strategy)
 		if err != nil {
@@ -207,6 +219,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opts.Strategy = st
+	}
+	if req.Explain {
+		prep, err := core.Prepare(s.db, req.Query)
+		if err != nil {
+			httpErr(w, err)
+			return
+		}
+		prep.SketchCache = s.cache
+		prep.SketchMemo = s.memo
+		qp := prep.Plan(opts)
+		writeJSON(w, map[string]any{"plan": qp, "explain": qp.Explain()})
+		return
 	}
 	// Evaluation is the expensive part; it runs without the lock so
 	// concurrent queries don't serialize behind one another.
@@ -300,7 +324,8 @@ func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	// prep.Run is a pure read over the prepared query and the database;
 	// it needs no lock, so summaries render concurrently too.
 	res, err := prep.Run(core.Options{Limit: 9, Seed: 1, SketchCache: s.cache,
-		SketchPersistDir: s.persistDir, SketchMemo: s.memo, SketchIncremental: s.incremental})
+		SketchPersistDir: s.persistDir, SketchMemo: s.memo, SketchIncremental: s.incremental,
+		Catalog: s.cat})
 	if err != nil {
 		httpErr(w, err)
 		return
@@ -338,7 +363,7 @@ const indexHTML = `<!doctype html>
  td, th { border: 1px solid #bbb; padding: 3px 9px; font-size: 13px; }
  tr.pinned { background: #fff4c2; }
  button { margin: 4px 6px 4px 0; }
- #aggs, #stats, #sugg { font-family: monospace; font-size: 13px; white-space: pre; }
+ #aggs, #stats, #sugg, #plan { font-family: monospace; font-size: 13px; white-space: pre; }
  .cols { display: flex; gap: 2em; } .col { flex: 1; }
  svg { border: 1px solid #ccc; background: #fafafa; }
  h3 { margin-bottom: .2em; }
@@ -352,6 +377,7 @@ WHERE R.gluten = 'free'
 SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500
 MAXIMIZE SUM(P.protein)</textarea><br>
 <button onclick="run()">Run query</button>
+<button onclick="explainPlan()">Explain plan</button>
 <button onclick="replacePkg()">Replace unpinned (adaptive exploration)</button>
 <button onclick="summary()">Package-space summary</button>
 suggest for column: <input id="scol" size="10" value="fat">
@@ -362,6 +388,7 @@ suggest for column: <input id="scol" size="10" value="fat">
  <h3>Aggregates</h3><div id="aggs"></div>
 </div><div class="col">
  <h3>Suggestions</h3><div id="sugg"></div>
+ <h3>Plan</h3><div id="plan"></div>
  <h3>Package space</h3><div id="space"></div>
 </div></div>
 <script>
@@ -398,6 +425,7 @@ function render(p) {
     }
     stats = '\nstrategy: ' + p.stats.strategy + sk +
       '  candidates: ' + p.stats.candidates + '  ' + p.stats.elapsedMs + 'ms';
+    if (p.stats.plannedStrategy) stats += '\nplanned: ' + p.stats.plannedStrategy;
   }
   document.getElementById('aggs').textContent =
     Object.entries(p.aggregates).map(([k,v])=>k.padEnd(36)+v).join('\n') +
@@ -405,6 +433,10 @@ function render(p) {
 }
 function isPinnedId(id, p) { return false; /* pin state shown after refresh */ }
 async function run() { render(await post('/api/query', {query: document.getElementById('q').value})); }
+async function explainPlan() {
+  const j = await post('/api/query', {query: document.getElementById('q').value, explain: true});
+  document.getElementById('plan').textContent = j.explain;
+}
 async function replacePkg() { render(await post('/api/replace')); }
 async function togglePin(id) {
   const un = pinned.has(id);

@@ -239,6 +239,83 @@ func TestConcurrentQueryTraffic(t *testing.T) {
 	}
 }
 
+// TestHandleExplain exercises the explain request field: the server
+// plans the query without executing it and returns the decision trail
+// as structured JSON plus rendered text.
+func TestHandleExplain(t *testing.T) {
+	s := testServer(t)
+	rec, out := postJSON(t, s.handleQuery,
+		`{"query": `+mustJSON(demoQuery)+`, "explain": true}`)
+	if rec.Code != 200 {
+		t.Fatalf("explain status %d: %s", rec.Code, rec.Body)
+	}
+	var qp struct {
+		Strategy  string `json:"strategy"`
+		Decisions []struct {
+			Name   string `json:"name"`
+			Forced bool   `json:"forced"`
+		} `json:"decisions"`
+	}
+	if err := json.Unmarshal(out["plan"], &qp); err != nil {
+		t.Fatalf("plan JSON: %v", err)
+	}
+	if qp.Strategy == "" || len(qp.Decisions) == 0 {
+		t.Fatalf("plan = %s", out["plan"])
+	}
+	var text string
+	_ = json.Unmarshal(out["explain"], &text)
+	if !strings.Contains(text, "strategy = ") || !strings.Contains(text, "plan for:") {
+		t.Errorf("explain text = %q", text)
+	}
+	// Explaining must not publish a session.
+	if _, err := s.session(); err == nil {
+		t.Error("explain created a session")
+	}
+
+	// A forced strategy shows up as forced in the plan.
+	rec2, out2 := postJSON(t, s.handleQuery,
+		`{"query": `+mustJSON(demoQuery)+`, "explain": true, "strategy": "solver"}`)
+	if rec2.Code != 200 {
+		t.Fatalf("forced explain status %d: %s", rec2.Code, rec2.Body)
+	}
+	var qp2 struct {
+		Strategy  string `json:"strategy"`
+		Decisions []struct {
+			Name   string `json:"name"`
+			Forced bool   `json:"forced"`
+		} `json:"decisions"`
+	}
+	_ = json.Unmarshal(out2["plan"], &qp2)
+	if qp2.Strategy != "solver" {
+		t.Errorf("forced strategy = %q", qp2.Strategy)
+	}
+	forced := false
+	for _, d := range qp2.Decisions {
+		if d.Name == "strategy" && d.Forced {
+			forced = true
+		}
+	}
+	if !forced {
+		t.Errorf("strategy decision not marked forced: %s", out2["plan"])
+	}
+}
+
+// TestPlannedStrategyStat checks every query response reports the
+// planner's pick alongside the executed strategy.
+func TestPlannedStrategyStat(t *testing.T) {
+	s := testServer(t)
+	rec, out := postJSON(t, s.handleQuery, `{"query": `+mustJSON(demoQuery)+`}`)
+	if rec.Code != 200 {
+		t.Fatalf("query status %d: %s", rec.Code, rec.Body)
+	}
+	var stats map[string]any
+	_ = json.Unmarshal(out["stats"], &stats)
+	ps, _ := stats["plannedStrategy"].(string)
+	if ps == "" {
+		t.Errorf("stats.plannedStrategy missing: %v", stats)
+	}
+}
+
 func TestBodyLimitRejectsHugePayload(t *testing.T) {
 	s := testServer(t)
 	huge := strings.Repeat("x", maxBodyBytes+1024)

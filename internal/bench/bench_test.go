@@ -24,6 +24,7 @@ func TestExperimentsQuick(t *testing.T) {
 		{"e9", []string{"hierarchical", "top-vars", "warm cache", "true"}},
 		{"e10", []string{"parallel", "speedup-vs-serial", "disk-warm cold start", "loaded"}},
 		{"e12", []string{"incremental tree maintenance", "rebuild", "patch", "speedup"}},
+		{"e13", []string{"cost-based planner", "hand-set", "planner", "speedup-vs-hand-set"}},
 	}
 	for _, tc := range cases {
 		tc := tc

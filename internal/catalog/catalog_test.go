@@ -1,0 +1,204 @@
+package catalog
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/minidb"
+)
+
+// newDB builds a db with one table "t" holding n rows (id INT, v FLOAT,
+// s TEXT) where v = id and s cycles over 3 values; every 10th v is NULL.
+func newDB(t *testing.T, n int) *minidb.DB {
+	t.Helper()
+	db := minidb.New()
+	mustExec(t, db, "CREATE TABLE t (id INTEGER, v FLOAT, s TEXT)")
+	for i := 0; i < n; i++ {
+		v := fmt.Sprintf("%d.5", i)
+		if i%10 == 0 {
+			v = "NULL"
+		}
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, %s, 's%d')", i, v, i%3))
+	}
+	return db
+}
+
+func mustExec(t *testing.T, db *minidb.DB, sql string) {
+	t.Helper()
+	if _, err := db.Exec(sql); err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+}
+
+func TestStatsFullScan(t *testing.T) {
+	db := newDB(t, 30)
+	c := New(db)
+	ts, ok := c.Stats("T") // case-insensitive
+	if !ok {
+		t.Fatal("table not found")
+	}
+	if ts.Rows != 30 || ts.Table != "t" {
+		t.Fatalf("rows=%d table=%q", ts.Rows, ts.Table)
+	}
+	if len(ts.Attrs) != 3 {
+		t.Fatalf("attrs=%d", len(ts.Attrs))
+	}
+	id := ts.Attrs[0]
+	if !id.Numeric || id.Min != 0 || id.Max != 29 || id.NullFrac != 0 || id.Distinct != 30 {
+		t.Fatalf("id stats: %+v", id)
+	}
+	v := ts.Attrs[1]
+	if v.Min != 1.5 || v.Max != 29.5 {
+		t.Fatalf("v min/max: %+v", v)
+	}
+	if got, want := v.NullFrac, 3.0/30.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("v nullfrac: %g want %g", got, want)
+	}
+	s := ts.Attrs[2]
+	if s.Numeric || s.Distinct != 3 {
+		t.Fatalf("s stats: %+v", s)
+	}
+	if ts.DeltaRows != 0 || ts.DeltaFrac != 0 {
+		t.Fatalf("fresh scan should report no delta: %+v", ts)
+	}
+}
+
+func TestStatsUnknownTable(t *testing.T) {
+	c := New(minidb.New())
+	if _, ok := c.Stats("nope"); ok {
+		t.Fatal("expected !ok")
+	}
+}
+
+func TestIncrementalAppendMerges(t *testing.T) {
+	db := newDB(t, 20)
+	c := New(db)
+	before, _ := c.Stats("t")
+	mustExec(t, db, "INSERT INTO t VALUES (100, 999.5, 's9')")
+	after, _ := c.Stats("t")
+	if after.Rows != 21 || after.Version != before.Version+1 {
+		t.Fatalf("rows=%d version=%d (before %d)", after.Rows, after.Version, before.Version)
+	}
+	if after.Attrs[0].Max != 100 || after.Attrs[1].Max != 999.5 {
+		t.Fatalf("max not merged: %+v", after.Attrs[:2])
+	}
+	if after.Attrs[2].Distinct != 4 {
+		t.Fatalf("distinct not merged: %+v", after.Attrs[2])
+	}
+	if after.DeltaRows != 1 {
+		t.Fatalf("deltaRows=%d", after.DeltaRows)
+	}
+	if after.DeltaFrac <= 0 || after.DeltaFrac > 0.1 {
+		t.Fatalf("deltaFrac=%g", after.DeltaFrac)
+	}
+}
+
+func TestDeleteTriggersRescanPastBudget(t *testing.T) {
+	db := newDB(t, 40)
+	c := New(db)
+	c.Stats("t")
+	// Delete over half the table: the accumulated delta passes
+	// rescanFrac and stats must be recomputed from scratch, shrinking
+	// the max again.
+	mustExec(t, db, "DELETE FROM t WHERE id >= 10")
+	ts, _ := c.Stats("t")
+	if ts.Rows != 10 {
+		t.Fatalf("rows=%d", ts.Rows)
+	}
+	if ts.Attrs[0].Max != 9 {
+		t.Fatalf("rescan should shrink max: %+v", ts.Attrs[0])
+	}
+	if ts.DeltaRows != 0 {
+		t.Fatalf("rescan should reset delta: %+v", ts)
+	}
+}
+
+func TestSmallDeleteStaysIncremental(t *testing.T) {
+	db := newDB(t, 40)
+	c := New(db)
+	c.Stats("t")
+	mustExec(t, db, "DELETE FROM t WHERE id = 39")
+	ts, _ := c.Stats("t")
+	if ts.Rows != 39 {
+		t.Fatalf("rows=%d", ts.Rows)
+	}
+	// Deletes merge approximately: the old max survives until a rescan.
+	if ts.Attrs[0].Max != 39 {
+		t.Fatalf("expected stale max 39, got %+v", ts.Attrs[0])
+	}
+	if ts.DeltaRows != 1 || ts.DeltaFrac == 0 {
+		t.Fatalf("delta: %+v", ts)
+	}
+}
+
+func TestWriteRate(t *testing.T) {
+	db := newDB(t, 5)
+	c := New(db)
+	now := time.Unix(1000, 0)
+	c.SetClock(func() time.Time { return now })
+	ts, _ := c.Stats("t")
+	if ts.WriteRate != 0 {
+		t.Fatalf("single sample should give rate 0, got %g", ts.WriteRate)
+	}
+	// 10 writes over 10 seconds → 1 write/s.
+	for i := 0; i < 10; i++ {
+		now = now.Add(time.Second)
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, 1.0, 'x')", 200+i))
+	}
+	ts, _ = c.Stats("t")
+	if ts.WriteRate < 0.9 || ts.WriteRate > 1.1 {
+		t.Fatalf("writeRate=%g want ≈1", ts.WriteRate)
+	}
+	// Quiet period: the rate decays toward zero as time passes.
+	now = now.Add(2 * time.Minute)
+	ts, _ = c.Stats("t")
+	if ts.WriteRate > 0.1 {
+		t.Fatalf("writeRate=%g should decay", ts.WriteRate)
+	}
+	// Past the window old samples drop entirely → read-only again.
+	now = now.Add(writeRateWindow + time.Minute)
+	c.Stats("t")
+	now = now.Add(time.Second)
+	ts, _ = c.Stats("t")
+	if ts.WriteRate != 0 {
+		t.Fatalf("writeRate=%g want 0 after window", ts.WriteRate)
+	}
+}
+
+func TestDistinctCap(t *testing.T) {
+	db := minidb.New()
+	mustExec(t, db, "CREATE TABLE big (id INTEGER)")
+	for i := 0; i < distinctCap+100; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO big VALUES (%d)", i))
+	}
+	c := New(db)
+	ts, _ := c.Stats("big")
+	a := ts.Attrs[0]
+	if !a.DistinctCapped || a.Distinct != distinctCap {
+		t.Fatalf("distinct=%d capped=%v", a.Distinct, a.DistinctCapped)
+	}
+}
+
+func TestAll(t *testing.T) {
+	db := newDB(t, 3)
+	mustExec(t, db, "CREATE TABLE aaa (x INTEGER)")
+	c := New(db)
+	all := c.All()
+	if len(all) != 2 || all[0].Table != "aaa" || all[1].Table != "t" {
+		t.Fatalf("all=%+v", all)
+	}
+}
+
+func TestDroppedTableForgotten(t *testing.T) {
+	db := newDB(t, 3)
+	c := New(db)
+	c.Stats("t")
+	if err := db.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Stats("t"); ok {
+		t.Fatal("dropped table should report !ok")
+	}
+}

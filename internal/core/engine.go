@@ -24,9 +24,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/expr"
 	"repro/internal/minidb"
 	"repro/internal/paql"
+	"repro/internal/plan"
 	"repro/internal/prune"
 	"repro/internal/schema"
 	"repro/internal/search"
@@ -96,6 +98,14 @@ func ParseStrategy(name string) (Strategy, error) {
 // Options tunes evaluation.
 type Options struct {
 	Strategy Strategy
+	// Planner overrides the cost-based planner Run consults for
+	// strategy and knob defaults (nil = a planner with the stock cost
+	// model). Explicitly-set options always win over its decisions.
+	Planner *plan.Planner
+	// Catalog, when set, feeds the planner per-table statistics (row
+	// counts, write rate, delta fraction). Without one the planner
+	// sees a minimal row-count-only snapshot.
+	Catalog *catalog.Catalog
 	// Limit overrides the query's LIMIT (number of packages).
 	Limit int
 	// Timeout bounds the whole evaluation.
@@ -153,6 +163,12 @@ type Options struct {
 	// bottom-up — instead of rebuilt from scratch, and the persisted
 	// tree is re-saved atomically.
 	SketchIncremental bool
+	// SketchIncrementalSet marks SketchIncremental as explicitly chosen
+	// by the user: the planner's patch-vs-rebuild decision then leaves
+	// it alone and records the value as forced. Callers that default
+	// the knob (packagebuilder, pbserver's server-wide flag) leave this
+	// false so the planner stays in charge.
+	SketchIncrementalSet bool
 	// SketchParallelism caps the workers SketchRefine's offline
 	// partitioning and per-partition solves fan out across: 0 = one per
 	// CPU, 1 = fully serial. Results are identical at every setting.
@@ -225,6 +241,10 @@ type Stats struct {
 	SketchWorkers      int          // workers the sketch-refine parallel phases used
 	Elapsed            time.Duration
 	Notes              []string // strategy decisions, fallbacks, caveats
+	// Plan is the cost-based planner's decision trail for this
+	// evaluation (strategy, knobs, costs, reasons). Always set by Run;
+	// EXPLAIN surfaces render it.
+	Plan *plan.Plan
 }
 
 // Result is the evaluation outcome.

@@ -91,7 +91,7 @@ func TestAutoChoosesSolverForLinear(t *testing.T) {
 	}
 	found := false
 	for _, n := range res.Stats.Notes {
-		if strings.Contains(n, "auto") {
+		if strings.Contains(n, "planner:") {
 			found = true
 		}
 	}

@@ -123,20 +123,41 @@ func (m *FingerprintMemo) Advance(prep *Prepared) (uint64, *sketch.PatchSpec) {
 	return fp, nil
 }
 
-// step advances an existing snapshot by the table's delta log: deleted
-// candidates drop out of the hash list, appended candidates are the
-// only rows hashed, and the remap tying old candidate indexes to new
-// ones becomes the patch spec. ok is false when the delta aged out of
-// the log or the observed candidates contradict the replayed delta
-// (the caller falls back to a full rehash).
+// step advances an existing snapshot by the table's delta log and
+// commits the replayed state into the entry. ok is false when the
+// delta aged out of the log or the observed candidates contradict the
+// replayed delta (the caller falls back to a full rehash).
 func (m *FingerprintMemo) step(e *memoEntry, prep *Prepared) (uint64, *sketch.PatchSpec, bool) {
-	delta, ok := prep.Table.DeltaSince(e.version)
-	if !ok || delta.Current != prep.TableVersion {
+	fp, newHashes, patch, hashed, ok := replayDelta(e, prep)
+	if !ok {
 		return 0, nil, false
+	}
+	m.rowsHashed += int64(hashed)
+	if patch == nil {
+		m.hits++ // writes missed the candidates entirely: still zero-rehash warm
+	}
+	e.version = prep.TableVersion
+	e.ids = prep.Instance.IDs
+	e.rowHashes = newHashes
+	e.fp = fp
+	return fp, patch, true
+}
+
+// replayDelta replays the table's delta log over an existing snapshot
+// without mutating it: deleted candidates drop out of the hash list,
+// appended candidates are the only rows hashed, and the remap tying old
+// candidate indexes to new ones becomes the patch spec (nil when the
+// candidates are unchanged). ok is false when the delta aged out of the
+// log or the observed candidates contradict the replayed delta. Shared
+// by step (which commits the result) and Probe (which discards it).
+func replayDelta(e *memoEntry, prep *Prepared) (fp uint64, newHashes []uint64, patch *sketch.PatchSpec, hashed int, ok bool) {
+	delta, dok := prep.Table.DeltaSince(e.version)
+	if !dok || delta.Current != prep.TableVersion {
+		return 0, nil, nil, 0, false
 	}
 	inst := prep.Instance
 	remap := make([]int, len(e.ids))
-	newHashes := make([]uint64, 0, len(inst.IDs))
+	newHashes = make([]uint64, 0, len(inst.IDs))
 	di, surv := 0, 0
 	for i, id := range e.ids {
 		for di < len(delta.Deleted) && delta.Deleted[di] < id {
@@ -149,7 +170,7 @@ func (m *FingerprintMemo) step(e *memoEntry, prep *Prepared) (uint64, *sketch.Pa
 		// Survivors shift down by the deletions before them; the fresh
 		// candidate scan must agree, or the delta model does not apply.
 		if surv >= len(inst.IDs) || inst.IDs[surv] != id-di {
-			return 0, nil, false
+			return 0, nil, nil, 0, false
 		}
 		remap[i] = surv
 		newHashes = append(newHashes, e.rowHashes[i])
@@ -157,23 +178,76 @@ func (m *FingerprintMemo) step(e *memoEntry, prep *Prepared) (uint64, *sketch.Pa
 	}
 	for k := surv; k < len(inst.IDs); k++ {
 		if inst.IDs[k] < delta.AppendedStart {
-			return 0, nil, false // a "new" candidate from the base region: not append-only
+			return 0, nil, nil, 0, false // a "new" candidate from the base region: not append-only
 		}
 		newHashes = append(newHashes, sketch.RowHash(inst.Rows[k]))
 	}
-	m.rowsHashed += int64(len(inst.IDs) - surv)
-	fp := sketch.CombineRowHashes(newHashes)
-	var patch *sketch.PatchSpec
+	hashed = len(inst.IDs) - surv
+	fp = sketch.CombineRowHashes(newHashes)
 	if fp != e.fp {
 		patch = &sketch.PatchSpec{BaseFingerprint: e.fp, Remap: remap}
-	} else {
-		m.hits++ // writes missed the candidates entirely: still zero-rehash warm
 	}
-	e.version = prep.TableVersion
-	e.ids = inst.IDs
-	e.rowHashes = newHashes
-	e.fp = fp
-	return fp, patch, true
+	return fp, newHashes, patch, hashed, true
+}
+
+// ProbeResult is Probe's read-only view of what Advance would return.
+type ProbeResult struct {
+	// Fingerprint is the candidate fingerprint Advance would resolve.
+	Fingerprint uint64
+	// Base is the previous snapshot's fingerprint a tree patch would
+	// start from (0 when no patch lineage exists).
+	Base uint64
+	// Patchable reports that a patch spec relating Base to Fingerprint
+	// exists.
+	Patchable bool
+	// DeltaFrac is the changed-candidate fraction (deleted + appended
+	// over the current candidate count) behind that patch.
+	DeltaFrac float64
+	// Known reports the memo could resolve the fingerprint from its
+	// snapshot (possibly hashing only the delta); false means Advance
+	// would fall back to a full O(n) rehash.
+	Known bool
+}
+
+// Probe reports the fingerprint and patch lineage Advance would
+// resolve, WITHOUT committing the new snapshot, bumping the
+// lookup/hit counters, or consuming the patch spec. The planner uses
+// it to predict the tree source of a sketch run it has not started —
+// the actual run's Advance still sees the same lineage.
+func (m *FingerprintMemo) Probe(prep *Prepared) ProbeResult {
+	if prep.Table == nil {
+		return ProbeResult{}
+	}
+	key := memoKey{table: prep.Table.Name, where: whereKey(prep.Query)}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if !ok || e.table != prep.Table {
+		return ProbeResult{}
+	}
+	if e.version == prep.TableVersion && len(e.ids) == len(prep.Instance.IDs) {
+		return ProbeResult{Fingerprint: e.fp, Known: true}
+	}
+	fp, _, patch, _, ok := replayDelta(e, prep)
+	if !ok {
+		return ProbeResult{}
+	}
+	pr := ProbeResult{Fingerprint: fp, Known: true}
+	if patch != nil {
+		deleted := 0
+		for _, r := range patch.Remap {
+			if r < 0 {
+				deleted++
+			}
+		}
+		appended := len(prep.Instance.IDs) - (len(patch.Remap) - deleted)
+		pr.Base = e.fp
+		pr.Patchable = true
+		if n := len(prep.Instance.IDs); n > 0 {
+			pr.DeltaFrac = float64(deleted+appended) / float64(n)
+		}
+	}
+	return pr
 }
 
 func (m *FingerprintMemo) put(k memoKey, e *memoEntry) {

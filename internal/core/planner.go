@@ -1,0 +1,184 @@
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/sketch"
+)
+
+// This file is the bridge between the engine and internal/plan: it
+// snapshots a Prepared query plus its Options into a plan.Input (table
+// statistics from the catalog, atom mix from the query planner, forced
+// knobs from explicit options, cache state from a live probe) and maps
+// the resulting plan back onto the engine's Strategy and sketch knobs.
+// All strategy heuristics formerly in chooseStrategy live in
+// internal/plan now; core only translates.
+
+// Plan runs the cost-based planner over the prepared query under the
+// given options and returns the decision trail — without executing
+// anything. EXPLAIN on every surface bottoms out here.
+func (p *Prepared) Plan(opts Options) *plan.Plan {
+	planner := opts.Planner
+	if planner == nil {
+		planner = plan.NewPlanner()
+	}
+	return planner.Plan(p.planInput(opts))
+}
+
+// planInput snapshots everything the execution planner looks at.
+func (p *Prepared) planInput(opts Options) plan.Input {
+	in := plan.Input{
+		N:       len(p.Instance.Rows),
+		MaxMult: p.Instance.MaxMult,
+		Mix:     plan.AnalyzeAtoms(p.Analysis, sketch.Applicable(p.Instance)),
+		Procs:   runtime.GOMAXPROCS(0),
+		Forced:  p.forcedKnobs(opts),
+		Probe:   p.cacheProbe(opts),
+	}
+	if p.Query != nil {
+		in.Query = p.Query.Raw
+	}
+	in.Table = p.tableStats(opts)
+	return in
+}
+
+// tableStats resolves the catalog snapshot for the queried table,
+// falling back to a minimal row-count-only view when the evaluation
+// runs without a catalog.
+func (p *Prepared) tableStats(opts Options) catalog.TableStats {
+	if p.Table == nil {
+		return catalog.TableStats{Rows: len(p.Instance.Rows)}
+	}
+	if opts.Catalog != nil {
+		if ts, ok := opts.Catalog.Stats(p.Table.Name); ok {
+			return ts
+		}
+	}
+	return catalog.TableStats{
+		Table:   p.Table.Name,
+		Rows:    len(p.Table.Rows),
+		Version: p.TableVersion,
+	}
+}
+
+// forcedKnobs lifts explicitly-set options into the plan's forced set,
+// so the planner echoes them back marked "forced" instead of deciding.
+func (p *Prepared) forcedKnobs(opts Options) plan.Forced {
+	f := plan.Forced{
+		Depth:       opts.SketchDepth,
+		Parallelism: opts.SketchParallelism,
+	}
+	if opts.Strategy != Auto {
+		f.Strategy = opts.Strategy.String()
+	}
+	if opts.SketchPartitionSize > 0 || opts.SketchPartitions > 0 {
+		f.Tau = sketch.Options{
+			MaxPartitionSize: opts.SketchPartitionSize,
+			NumPartitions:    opts.SketchPartitions,
+		}.EffectiveTau(len(p.Instance.Rows))
+	}
+	if opts.SketchIncrementalSet {
+		inc := opts.SketchIncremental
+		f.Incremental = &inc
+	}
+	return f
+}
+
+// cacheProbe builds the planner's cache-state probe: given the (τ,
+// depth) the planner intends, report whether a tree for the resulting
+// key is warm in memory, persisted on disk, or patchable from lineage.
+// Nil (assume cold) when no cache, store, or memo is in play — without
+// a memoized fingerprint the probe would cost an O(n) hash, which a
+// plan must never do.
+func (p *Prepared) cacheProbe(opts Options) func(tau, depth int) plan.CacheState {
+	cache := opts.SketchCache
+	if cache == nil {
+		cache = p.SketchCache
+	}
+	if opts.SketchNoCache {
+		cache = nil
+	}
+	memo := opts.SketchMemo
+	if memo == nil {
+		memo = p.SketchMemo
+	}
+	if memo == nil || (cache == nil && opts.SketchPersistDir == "") {
+		return nil
+	}
+	return func(tau, depth int) plan.CacheState {
+		var cs plan.CacheState
+		pr := memo.Probe(p)
+		if !pr.Known {
+			return cs
+		}
+		fp := pr.Fingerprint
+		key := sketch.KeyFor(p.Instance, sketch.Options{
+			MaxPartitionSize: tau,
+			Depth:            depth,
+			Seed:             opts.Seed,
+			Fingerprint:      &fp,
+		})
+		var store *sketch.Store
+		if opts.SketchPersistDir != "" {
+			store = sketch.NewStore(opts.SketchPersistDir)
+		}
+		if cache != nil {
+			if _, ok := cache.Peek(key); ok {
+				cs.InCache = true
+				return cs
+			}
+		}
+		if store != nil && store.Contains(key) {
+			cs.OnDisk = true
+			return cs
+		}
+		if pr.Patchable {
+			base := key
+			base.Fingerprint = pr.Base
+			warmBase := false
+			if cache != nil {
+				_, warmBase = cache.Peek(base)
+			}
+			if !warmBase && store != nil {
+				warmBase = store.Contains(base)
+			}
+			if warmBase {
+				cs.Patchable = true
+				cs.PatchFrac = pr.DeltaFrac
+			}
+		}
+		return cs
+	}
+}
+
+// applyPlan maps a plan onto the options: the strategy when the user
+// left it on Auto, and each sketch knob the user did not set
+// explicitly. Forced values pass through untouched — the plan already
+// echoes them.
+func applyPlan(opts *Options, qp *plan.Plan) (Strategy, error) {
+	strat := opts.Strategy
+	if strat == Auto {
+		var err error
+		strat, err = ParseStrategy(qp.Strategy)
+		if err != nil {
+			return Auto, err
+		}
+	}
+	if qp.Strategy == plan.StrategySketch || strat == SketchRefineStrategy {
+		if opts.SketchPartitionSize == 0 && opts.SketchPartitions == 0 && qp.Tau > 0 {
+			opts.SketchPartitionSize = qp.Tau
+		}
+		if opts.SketchDepth == 0 && qp.Depth > 0 {
+			opts.SketchDepth = qp.Depth
+		}
+		if opts.SketchParallelism == 0 && qp.Parallelism > 0 {
+			opts.SketchParallelism = qp.Parallelism
+		}
+		if !opts.SketchIncrementalSet {
+			opts.SketchIncremental = qp.Incremental
+		}
+	}
+	return strat, nil
+}

@@ -8,24 +8,19 @@ import (
 	"time"
 
 	"repro/internal/milp"
+	"repro/internal/plan"
 	"repro/internal/prune"
 	"repro/internal/search"
 	"repro/internal/sketch"
 	"repro/internal/translate"
 )
 
-// autoThreshold is the candidate count up to which exact enumeration is
-// preferred for non-linear queries; beyond it the engine falls back to
-// local search.
-const autoThreshold = 22
-
-// sketchAutoThreshold is the candidate count above which Auto prefers
-// SketchRefine over the exact MILP solver for linear queries: one huge
-// solve becomes many small per-partition solves, trading a bounded
-// objective gap for much lower latency.
-const sketchAutoThreshold = 4096
-
-// Run evaluates the prepared query under the given options.
+// Run evaluates the prepared query under the given options. Strategy
+// and sketch-knob defaults come from the cost-based planner
+// (internal/plan); explicitly-set options always win. The thresholds
+// that used to live here as autoThreshold (22) and sketchAutoThreshold
+// (4096) are plan.DefaultCostModel's ExactEnumMax and SketchThreshold
+// now.
 func (p *Prepared) Run(opts Options) (*Result, error) {
 	start := time.Now()
 	inst := p.Instance
@@ -42,10 +37,19 @@ func (p *Prepared) Run(opts Options) (*Result, error) {
 		}
 		fetch = limit * over
 	}
-	if opts.ComputeSpace || len(inst.Rows) <= 4096 {
+	cost := plan.DefaultCostModel()
+	if opts.Planner != nil {
+		cost = opts.Planner.Cost
+	}
+	if opts.ComputeSpace || len(inst.Rows) <= cost.SketchThreshold {
 		pr, full := prune.SpaceSize(len(inst.Rows), inst.Bounds)
 		res.Stats.SpacePruned, res.Stats.SpaceFull = pr, full
 	}
+
+	// Plan first: the trail is reported even when the bounds check below
+	// exits early, so EXPLAIN always has something to show.
+	qplan := p.Plan(opts)
+	res.Stats.Plan = qplan
 
 	// Provably-empty space: exact empty answer.
 	if inst.Bounds.IsInfeasible() {
@@ -56,14 +60,19 @@ func (p *Prepared) Run(opts Options) (*Result, error) {
 		return res, nil
 	}
 
-	strat := opts.Strategy
-	if strat == Auto {
-		strat = p.chooseStrategy(&res.Stats, opts)
+	strat, err := applyPlan(&opts, qplan)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Strategy == Auto {
+		if d := qplan.Decision("strategy"); d != nil {
+			res.Stats.Notes = append(res.Stats.Notes, fmt.Sprintf("planner: %s (%s)", d.Value, d.Reason))
+		}
 	}
 	if strat == Solver && !p.Analysis.Linear {
 		res.Stats.Notes = append(res.Stats.Notes,
 			fmt.Sprintf("solver unavailable (non-linear: %v); falling back to search", p.Analysis.NonlinearReasons))
-		if len(inst.Rows) <= autoThreshold {
+		if len(inst.Rows) <= cost.ExactEnumMax {
 			strat = PrunedEnum
 		} else {
 			strat = LocalSearchStrategy
@@ -76,7 +85,7 @@ func (p *Prepared) Run(opts Options) (*Result, error) {
 			switch {
 			case p.Analysis.Linear:
 				strat = Solver
-			case len(inst.Rows) <= autoThreshold:
+			case len(inst.Rows) <= cost.ExactEnumMax:
 				strat = PrunedEnum
 			default:
 				strat = LocalSearchStrategy
@@ -85,8 +94,14 @@ func (p *Prepared) Run(opts Options) (*Result, error) {
 	}
 	res.Stats.Strategy = strat
 
+	// EXPLAIN: report the plan without executing anything.
+	if p.Query != nil && p.Query.Explain {
+		res.Stats.Notes = append(res.Stats.Notes, "EXPLAIN: plan only; query not executed")
+		res.Stats.Elapsed = time.Since(start)
+		return res, nil
+	}
+
 	var mults [][]int
-	var err error
 	switch strat {
 	case BruteForceStrategy:
 		mults, err = p.runEnum(res, opts, fetch, true)
@@ -121,34 +136,6 @@ func (p *Prepared) Run(opts Options) (*Result, error) {
 	}
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
-}
-
-// chooseStrategy implements Auto: solver for linear queries (exact and
-// scalable), exact enumeration for small non-linear ones, local search
-// otherwise.
-func (p *Prepared) chooseStrategy(st *Stats, opts Options) Strategy {
-	n := len(p.Instance.Rows)
-	switch {
-	case p.Analysis.Linear && n > sketchAutoThreshold &&
-		sketch.Applicable(p.Instance) == nil:
-		st.Notes = append(st.Notes, fmt.Sprintf(
-			"auto: linear query, %d candidates > %d -> SketchRefine (partitioned MILP)", n, sketchAutoThreshold))
-		return SketchRefineStrategy
-	case p.Analysis.Linear && p.Instance.MaxMult > 0:
-		st.Notes = append(st.Notes, "auto: linear query -> MILP solver")
-		return Solver
-	case p.Analysis.Linear:
-		// unlimited multiplicity still fine for the solver (no
-		// disjunction big-M requirement checked in translate)
-		st.Notes = append(st.Notes, "auto: linear query (unbounded REPEAT) -> MILP solver")
-		return Solver
-	case n <= autoThreshold && p.Instance.MaxMult > 0:
-		st.Notes = append(st.Notes, fmt.Sprintf("auto: non-linear query, %d candidates -> exact pruned enumeration", n))
-		return PrunedEnum
-	default:
-		st.Notes = append(st.Notes, fmt.Sprintf("auto: non-linear query, %d candidates -> heuristic local search", n))
-		return LocalSearchStrategy
-	}
 }
 
 func (p *Prepared) runEnum(res *Result, opts Options, fetch int, brute bool) ([][]int, error) {

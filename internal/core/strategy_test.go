@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/minidb"
+	"repro/internal/plan"
 )
 
 func TestStrategyString(t *testing.T) {
@@ -133,7 +134,7 @@ func TestAutoSelectsSketchAboveThreshold(t *testing.T) {
 		t.Skip("builds a >4096-tuple relation")
 	}
 	db := minidb.New()
-	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: sketchAutoThreshold + 500, Seed: 3}); err != nil {
+	if err := dataset.LoadRecipes(db, "recipes", dataset.RecipesConfig{N: plan.DefaultCostModel().SketchThreshold + 500, Seed: 3}); err != nil {
 		t.Fatal(err)
 	}
 	q := `SELECT PACKAGE(R) AS P FROM recipes R

@@ -56,6 +56,9 @@ type Query struct {
 	Objective *Objective // may be nil
 	Limit     int        // number of packages requested; 0 means 1
 	Raw       string     // original query text
+	// Explain marks an EXPLAIN-prefixed query: the engine plans it (the
+	// cost-based strategy/knob decision trail) but does not execute it.
+	Explain bool
 }
 
 // Objective is the optimization clause.

@@ -15,7 +15,15 @@ func Parse(src string) (*Query, error) {
 		return nil, err
 	}
 	q := &Query{Raw: strings.TrimSpace(src), Repeat: 0}
-	// SELECT PACKAGE(R) [AS P]
+	// [EXPLAIN] SELECT PACKAGE(R) [AS P]
+	if p.AcceptKeyword("EXPLAIN") {
+		q.Explain = true
+		// Raw keeps the query proper so plans and round-trips print it
+		// without the prefix.
+		if len(q.Raw) >= 7 && strings.EqualFold(q.Raw[:7], "EXPLAIN") {
+			q.Raw = strings.TrimSpace(q.Raw[7:])
+		}
+	}
 	if err := p.ExpectKeyword("SELECT"); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,352 @@
+// Package plan is the cost-based strategy planner: the single place
+// that turns "what does this query look like and how big/hot is its
+// table" into "which strategy and which knobs". It follows the classic
+// query-planner / execution-planner split:
+//
+//   - the query-planner half (AnalyzeAtoms) binds a PaQL analysis
+//     against the catalog and classifies the atom mix — linear, AVG,
+//     MIN/MAX, disjunctive — via the same lowering the sketch engine
+//     uses (internal/translate);
+//   - the execution-planner half (Planner.Plan) costs the alternatives
+//     (exact MILP vs flat vs hierarchical SketchRefine), sizes τ and
+//     tree depth to the table, picks parallelism from size and
+//     GOMAXPROCS, decides patch-vs-rebuild from the delta-log fraction,
+//     and predicts the tree source from the current cache and persist
+//     state — emitting a typed Plan whose every Decision carries a cost
+//     estimate and a human-readable reason.
+//
+// Explicit user knobs always win: they enter as Input.Forced and come
+// back out in the Plan marked forced, so EXPLAIN shows exactly which
+// choices the user pinned and which the planner made.
+//
+// The package deliberately does not import internal/core or
+// internal/sketch — core consumes plans, so strategies are named by
+// strings core parses, and cache/persist state arrives through an
+// injected probe. That keeps the planner a pure decision function over
+// an Input snapshot, which is what makes the decision matrix testable.
+package plan
+
+import (
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/paql"
+	"repro/internal/translate"
+)
+
+// Strategy names a plan can choose. They match core.ParseStrategy
+// spellings so core can parse them back without importing this package
+// in reverse.
+const (
+	// StrategySolver is the exact MILP over all candidates.
+	StrategySolver = "solver"
+	// StrategySketch is SketchRefine over a (possibly hierarchical)
+	// partition tree.
+	StrategySketch = "sketch-refine"
+	// StrategyPrunedEnum is exact branch-and-bound enumeration.
+	StrategyPrunedEnum = "pruned-enum"
+	// StrategyLocalSearch is the greedy + local-search heuristic.
+	StrategyLocalSearch = "local-search"
+)
+
+// Maintenance values for the patch-vs-rebuild decision.
+const (
+	// MaintainNone: no writes since the last snapshot — any cached tree
+	// is still exact.
+	MaintainNone = "none"
+	// MaintainPatch: the delta is within budget — patch the stale tree
+	// in place instead of rebuilding.
+	MaintainPatch = "patch"
+	// MaintainRebuild: the delta outgrew the patch budget — rebuild the
+	// tree from scratch.
+	MaintainRebuild = "rebuild"
+)
+
+// Tree-source values: where the sketch expects to get its partition
+// tree from, in acquisition order.
+const (
+	// SourceCache: a warm tree sits in the in-memory LRU.
+	SourceCache = "cache"
+	// SourceDisk: a persisted tree can be loaded from the store.
+	SourceDisk = "disk"
+	// SourcePatch: a stale base tree plus delta lineage can be patched.
+	SourcePatch = "patch"
+	// SourceBuild: nothing reusable — a full offline build.
+	SourceBuild = "build"
+)
+
+// AtomMix classifies a query's constraint atoms — the query-planner
+// half's output.
+type AtomMix struct {
+	// Linear reports whether constraints and objective are all affine.
+	Linear bool `json:"linear"`
+	// NonlinearReasons lists the linearity obstructions when not.
+	NonlinearReasons []string `json:"nonlinearReasons,omitempty"`
+	// SketchOK reports whether the sketch path can run this query.
+	SketchOK bool `json:"sketchOK"`
+	// SketchErr is the applicability error when it cannot.
+	SketchErr string `json:"sketchErr,omitempty"`
+	// Branches is the DNF branch count the sketch compiler produced
+	// (1 for conjunctive queries, 0 when inapplicable).
+	Branches int `json:"branches"`
+	// SumCount, Avg and MinMax count the distinct aggregates by family.
+	SumCount int `json:"sumCountAtoms"`
+	Avg      int `json:"avgAtoms"`
+	MinMax   int `json:"minMaxAtoms"`
+}
+
+// AnalyzeAtoms binds an analyzed query into an atom mix. sketchErr is
+// the sketch engine's applicability verdict for the same query (nil
+// when the sketch path can run it); it is injected so this package
+// stays independent of internal/sketch.
+func AnalyzeAtoms(a *paql.Analysis, sketchErr error) AtomMix {
+	m := AtomMix{Linear: a.Linear, NonlinearReasons: a.NonlinearReasons}
+	for _, agg := range a.Aggs {
+		switch agg.Fn {
+		case "AVG":
+			m.Avg++
+		case "MIN", "MAX":
+			m.MinMax++
+		default:
+			m.SumCount++
+		}
+	}
+	if sketchErr != nil {
+		m.SketchErr = sketchErr.Error()
+		return m
+	}
+	m.SketchOK = true
+	m.Branches = 1
+	if br, _, err := translate.CompileSketch(a, translate.DefaultMaxSketchBranches); err == nil && len(br) > 0 {
+		m.Branches = len(br)
+	}
+	return m
+}
+
+// CacheState is the probed cache/persist situation for one candidate
+// fingerprint at a specific (τ, depth) key.
+type CacheState struct {
+	// InCache: an exact tree for the key is in the in-memory LRU.
+	InCache bool `json:"inCache"`
+	// OnDisk: a persisted tree for the key exists in the store.
+	OnDisk bool `json:"onDisk"`
+	// Patchable: a base tree plus delta lineage exist, so the stale
+	// tree could be patched instead of rebuilt.
+	Patchable bool `json:"patchable"`
+	// PatchFrac is the lineage delta as a fraction of the candidates
+	// (meaningful only when Patchable).
+	PatchFrac float64 `json:"patchFrac,omitempty"`
+}
+
+// Forced carries the knobs the user pinned explicitly; zero values
+// (nil for Incremental) mean "planner's choice".
+type Forced struct {
+	// Strategy is the explicit strategy name, or "".
+	Strategy string `json:"strategy,omitempty"`
+	// Tau is the explicit leaf-size bound (resolved from either a
+	// partition-size or partition-count flag), or 0.
+	Tau int `json:"tau,omitempty"`
+	// Depth is the explicit tree depth, or 0.
+	Depth int `json:"depth,omitempty"`
+	// Parallelism is the explicit worker bound, or 0.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Incremental is the explicit patch-vs-rebuild choice, or nil.
+	Incremental *bool `json:"incremental,omitempty"`
+}
+
+// Input is everything the execution planner looks at — a snapshot, so
+// planning is a pure function and the decision matrix can enumerate
+// cells without a live engine.
+type Input struct {
+	// Query is the raw query text (display only).
+	Query string `json:"query,omitempty"`
+	// Table is the catalog snapshot for the queried table.
+	Table catalog.TableStats `json:"table"`
+	// N is the candidate count after the WHERE filter.
+	N int `json:"candidates"`
+	// MaxMult is the per-tuple multiplicity bound (≤0 = unbounded).
+	MaxMult int `json:"maxMult"`
+	// Mix is the query-planner half's atom classification.
+	Mix AtomMix `json:"atomMix"`
+	// Procs is the scheduler's GOMAXPROCS.
+	Procs int `json:"procs"`
+	// Forced carries explicitly pinned knobs.
+	Forced Forced `json:"forced"`
+	// Probe reports the cache/persist state for a (τ, depth) key; nil
+	// means assume cold.
+	Probe func(tau, depth int) CacheState `json:"-"`
+}
+
+// Alternative is a costed option the planner considered and rejected.
+type Alternative struct {
+	// Value is the option's value.
+	Value string `json:"value"`
+	// Cost is its estimate in the same abstract units as Decision.Cost.
+	Cost float64 `json:"cost"`
+}
+
+// Decision is one planner choice with its justification.
+type Decision struct {
+	// Name identifies the decision: strategy, tau, depth, parallelism,
+	// maintenance, tree-source.
+	Name string `json:"name"`
+	// Value is the chosen value, rendered as a string.
+	Value string `json:"value"`
+	// Forced reports that the user pinned this value explicitly.
+	Forced bool `json:"forced,omitempty"`
+	// Cost is the estimate for the chosen value in abstract work units
+	// (0 when the decision is not cost-driven).
+	Cost float64 `json:"cost,omitempty"`
+	// Reason explains the choice in one human-readable sentence.
+	Reason string `json:"reason"`
+	// Alternatives lists the costed options not taken.
+	Alternatives []Alternative `json:"alternatives,omitempty"`
+}
+
+// Plan is the planner's typed output: the chosen strategy and knobs
+// plus the per-decision trail EXPLAIN renders.
+type Plan struct {
+	// Query echoes the planned query text.
+	Query string `json:"query,omitempty"`
+	// Table echoes the catalog snapshot the plan was made against.
+	Table catalog.TableStats `json:"table"`
+	// Candidates is the candidate count after the WHERE filter.
+	Candidates int `json:"candidates"`
+	// Mix is the atom classification.
+	Mix AtomMix `json:"atomMix"`
+	// Strategy is the chosen strategy name (core.ParseStrategy spelling).
+	Strategy string `json:"strategy"`
+	// Tau, Depth and Parallelism are the planned sketch knobs (set only
+	// when the plan takes the sketch path or the knob was forced).
+	Tau         int `json:"tau,omitempty"`
+	Depth       int `json:"depth,omitempty"`
+	Parallelism int `json:"parallelism,omitempty"`
+	// Maintenance is the patch-vs-rebuild choice.
+	Maintenance string `json:"maintenance,omitempty"`
+	// Incremental is Maintenance folded to the engine's boolean knob:
+	// false only when the planner wants a rebuild.
+	Incremental bool `json:"incremental"`
+	// TreeSource predicts where the partition tree will come from.
+	TreeSource string `json:"treeSource,omitempty"`
+	// Decisions is the ordered decision trail.
+	Decisions []Decision `json:"decisions"`
+}
+
+// Decision returns the named decision, or nil.
+func (p *Plan) Decision(name string) *Decision {
+	for i := range p.Decisions {
+		if p.Decisions[i].Name == name {
+			return &p.Decisions[i]
+		}
+	}
+	return nil
+}
+
+// CostModel holds the planner's thresholds and cost formulas. Costs are
+// abstract work units (roughly candidate-cell touches) — only their
+// ratios matter.
+type CostModel struct {
+	// ExactEnumMax is the largest candidate count worth exact
+	// enumeration for non-linear queries.
+	ExactEnumMax int
+	// SketchThreshold is the candidate count where an exact MILP stops
+	// being "affordable" and SketchRefine takes over (the budget below
+	// derives from it).
+	SketchThreshold int
+	// DefaultTau and LargeTau are the leaf-size bounds for tables at or
+	// below / above LargeTauRows candidates.
+	DefaultTau   int
+	LargeTau     int
+	LargeTauRows int
+	// MaxTopVars caps the top-level sketch MILP size; depth grows until
+	// the root level fits under it.
+	MaxTopVars int
+	// MaxDepth caps the tree depth (mirrors the sketch engine's bound).
+	MaxDepth int
+	// MinMaxDepthCap caps depth for queries with MIN/MAX atoms: the
+	// envelope relaxation loosens per level, so deep trees cost
+	// feasibility more than they save solve time.
+	MinMaxDepthCap int
+	// ParallelMinRows is the candidate count below which fan-out
+	// overhead beats the win (mirrors the builder's serial cutoff).
+	ParallelMinRows int
+	// PatchMaxFrac is the largest delta fraction worth patching a stale
+	// tree for; past it the planner schedules a rebuild.
+	PatchMaxFrac float64
+}
+
+// DefaultCostModel returns the stock model. The thresholds previously
+// hard-coded in core.chooseStrategy (22 and 4096) live here now.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ExactEnumMax:    22,
+		SketchThreshold: 4096,
+		DefaultTau:      64,
+		LargeTau:        256,
+		LargeTauRows:    100_000,
+		MaxTopVars:      64,
+		MaxDepth:        8,
+		MinMaxDepthCap:  2,
+		ParallelMinRows: 2048,
+		PatchMaxFrac:    0.25,
+	}
+}
+
+// SolverCost estimates an exact MILP over n candidates: n·√n, the
+// empirical super-linear growth of the bounded LP-dive solver.
+func (c CostModel) SolverCost(n int) float64 {
+	f := float64(n)
+	return f * math.Sqrt(f)
+}
+
+// SketchCost estimates SketchRefine over n candidates with leaf bound
+// tau and the given DNF branch count: per branch one descent over the
+// leaves plus a refine pass bounded by n, and — unless a warm tree
+// exists — an offline build at n·(log₂(leaves)+1).
+func (c CostModel) SketchCost(n, tau, branches int, warm bool) float64 {
+	if tau < 1 {
+		tau = 1
+	}
+	if branches < 1 {
+		branches = 1
+	}
+	leaves := float64((n + tau - 1) / tau)
+	if leaves < 1 {
+		leaves = 1
+	}
+	cost := float64(branches) * (leaves + float64(n))
+	if !warm {
+		cost += float64(n) * (math.Log2(leaves) + 1)
+	}
+	return cost
+}
+
+// EnumCost estimates exact branch-and-bound enumeration: exponential in
+// n, saturating so the estimate stays finite.
+func (c CostModel) EnumCost(n int) float64 {
+	if n > 40 {
+		n = 40
+	}
+	return math.Exp2(float64(n))
+}
+
+// LocalSearchCost estimates the greedy + local-search heuristic:
+// linear with a constant for the repair sweeps.
+func (c CostModel) LocalSearchCost(n int) float64 { return float64(n) * 64 }
+
+// ExactBudget is the largest solver cost still considered affordable:
+// below it the planner prefers the exact answer even when the sketch
+// estimate is lower, because exactness is worth the margin. It derives
+// from SketchThreshold so the classic 4096-candidate switchover falls
+// out of the model.
+func (c CostModel) ExactBudget() float64 { return c.SolverCost(c.SketchThreshold) }
+
+// Planner turns an Input into a Plan. The zero value is not usable;
+// call NewPlanner, then override Cost fields if desired.
+type Planner struct {
+	// Cost is the model driving every threshold below.
+	Cost CostModel
+}
+
+// NewPlanner returns a planner with the default cost model.
+func NewPlanner() *Planner { return &Planner{Cost: DefaultCostModel()} }

@@ -1,0 +1,376 @@
+package plan
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/paql"
+	"repro/internal/schema"
+)
+
+func linearMix() AtomMix {
+	return AtomMix{Linear: true, SketchOK: true, Branches: 1, SumCount: 2}
+}
+
+func baseInput(n int) Input {
+	return Input{
+		Query:   "SELECT PACKAGE(R) FROM t R SUCH THAT SUM(v) <= 10 MAXIMIZE SUM(v)",
+		Table:   catalog.TableStats{Table: "t", Rows: n},
+		N:       n,
+		MaxMult: 1,
+		Mix:     linearMix(),
+		Procs:   8,
+	}
+}
+
+// TestDecisionMatrix is the satellite's size × atom-mix × write-rate ×
+// cache-state matrix: every input dimension must flip at least one
+// decision relative to its row's neighbor.
+func TestDecisionMatrix(t *testing.T) {
+	pl := NewPlanner()
+	cases := []struct {
+		name string
+		in   Input
+		want map[string]string // decision name → value
+	}{
+		// --- size axis ---
+		{"size/small-linear", baseInput(100),
+			map[string]string{"strategy": StrategySolver}},
+		{"size/large-linear", baseInput(100_000),
+			map[string]string{"strategy": StrategySketch, "tau": "64", "depth": "2", "parallelism": "8"}},
+		{"size/huge-linear", baseInput(1_000_000),
+			map[string]string{"strategy": StrategySketch, "tau": "256", "depth": "2"}},
+		{"size/borderline-serial", func() Input {
+			in := baseInput(5000)
+			return in
+		}(), map[string]string{"strategy": StrategySketch, "depth": "2", "parallelism": "8"}},
+		{"size/tiny-parallelism", func() Input {
+			in := baseInput(100)
+			in.Forced.Strategy = StrategySketch // pin sketch so knob decisions surface
+			return in
+		}(), map[string]string{"parallelism": "1", "depth": "1"}},
+
+		// --- atom-mix axis ---
+		{"mix/nonlinear-small", func() Input {
+			in := baseInput(10)
+			in.Mix = AtomMix{Linear: false, NonlinearReasons: []string{"objective multiplies aggregates"}}
+			return in
+		}(), map[string]string{"strategy": StrategyPrunedEnum}},
+		{"mix/nonlinear-large", func() Input {
+			in := baseInput(1000)
+			in.Mix = AtomMix{Linear: false, NonlinearReasons: []string{"objective multiplies aggregates"}}
+			return in
+		}(), map[string]string{"strategy": StrategyLocalSearch}},
+		{"mix/nonlinear-unbounded", func() Input {
+			in := baseInput(10)
+			in.MaxMult = 0
+			in.Mix = AtomMix{Linear: false}
+			return in
+		}(), map[string]string{"strategy": StrategyLocalSearch}},
+		{"mix/sketch-inapplicable", func() Input {
+			in := baseInput(100_000)
+			in.Mix.SketchOK = false
+			in.Mix.SketchErr = "subquery atom"
+			return in
+		}(), map[string]string{"strategy": StrategySolver}},
+		{"mix/minmax-caps-depth", func() Input {
+			in := baseInput(3_000_000) // τ=256 → 11719 leaves → depth 3 if unconstrained
+			in.Mix.MinMax = 1
+			return in
+		}(), map[string]string{"strategy": StrategySketch, "depth": "2"}},
+		{"mix/linear-deep", func() Input {
+			in := baseInput(3_000_000)
+			return in
+		}(), map[string]string{"depth": "3"}},
+
+		// --- write-rate axis ---
+		{"writes/read-only", func() Input {
+			in := baseInput(100_000)
+			return in
+		}(), map[string]string{"maintenance": MaintainNone}},
+		{"writes/modest", func() Input {
+			in := baseInput(100_000)
+			in.Table.WriteRate = 2.5
+			in.Table.DeltaRows = 1000
+			in.Table.DeltaFrac = 0.01
+			return in
+		}(), map[string]string{"maintenance": MaintainPatch}},
+		{"writes/heavy", func() Input {
+			in := baseInput(100_000)
+			in.Table.WriteRate = 50
+			in.Table.DeltaRows = 40_000
+			in.Table.DeltaFrac = 0.4
+			return in
+		}(), map[string]string{"maintenance": MaintainRebuild}},
+
+		// --- cache-state axis ---
+		{"cache/cold", func() Input {
+			in := baseInput(100_000)
+			return in
+		}(), map[string]string{"tree-source": SourceBuild}},
+		{"cache/warm-memory", func() Input {
+			in := baseInput(100_000)
+			in.Probe = func(tau, depth int) CacheState { return CacheState{InCache: true} }
+			return in
+		}(), map[string]string{"tree-source": SourceCache}},
+		{"cache/on-disk", func() Input {
+			in := baseInput(100_000)
+			in.Probe = func(tau, depth int) CacheState { return CacheState{OnDisk: true} }
+			return in
+		}(), map[string]string{"tree-source": SourceDisk}},
+		{"cache/patchable", func() Input {
+			in := baseInput(100_000)
+			in.Table.WriteRate = 1
+			in.Table.DeltaRows = 100
+			in.Table.DeltaFrac = 0.001
+			in.Probe = func(tau, depth int) CacheState {
+				return CacheState{Patchable: true, PatchFrac: 0.001}
+			}
+			return in
+		}(), map[string]string{"tree-source": SourcePatch, "maintenance": MaintainPatch}},
+		{"cache/patchable-but-rebuilding", func() Input {
+			in := baseInput(100_000)
+			in.Table.WriteRate = 10
+			in.Table.DeltaRows = 50_000
+			in.Table.DeltaFrac = 0.5
+			in.Probe = func(tau, depth int) CacheState {
+				return CacheState{Patchable: true, PatchFrac: 0.5}
+			}
+			return in
+		}(), map[string]string{"tree-source": SourceBuild, "maintenance": MaintainRebuild}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := pl.Plan(tc.in)
+			for name, want := range tc.want {
+				d := p.Decision(name)
+				if d == nil {
+					t.Fatalf("decision %q missing; plan:\n%s", name, p.Explain())
+				}
+				if d.Value != want {
+					t.Fatalf("decision %q = %q, want %q; plan:\n%s", name, d.Value, want, p.Explain())
+				}
+				if d.Reason == "" {
+					t.Fatalf("decision %q has no reason", name)
+				}
+			}
+		})
+	}
+}
+
+// TestEachInputChangesADecision pins the acceptance criterion directly:
+// flipping any one input dimension of a reference cell changes at
+// least one decision value.
+func TestEachInputChangesADecision(t *testing.T) {
+	pl := NewPlanner()
+	ref := baseInput(100_000)
+	refPlan := pl.Plan(ref)
+	flips := []struct {
+		name string
+		mut  func(*Input)
+	}{
+		{"size", func(in *Input) { in.N = 100; in.Table.Rows = 100 }},
+		{"atom-mix", func(in *Input) {
+			in.Mix = AtomMix{Linear: false, NonlinearReasons: []string{"nonlinear"}}
+		}},
+		{"write-rate", func(in *Input) {
+			in.Table.WriteRate = 50
+			in.Table.DeltaRows = 40_000
+			in.Table.DeltaFrac = 0.4
+		}},
+		{"cache-state", func(in *Input) {
+			in.Probe = func(tau, depth int) CacheState { return CacheState{InCache: true} }
+		}},
+	}
+	for _, f := range flips {
+		t.Run(f.name, func(t *testing.T) {
+			in := baseInput(100_000)
+			f.mut(&in)
+			got := pl.Plan(in)
+			if decisionValues(refPlan) == decisionValues(got) {
+				t.Fatalf("flipping %s changed no decision:\n%s", f.name, got.Explain())
+			}
+		})
+	}
+}
+
+func decisionValues(p *Plan) string {
+	var b strings.Builder
+	for _, d := range p.Decisions {
+		b.WriteString(d.Name + "=" + d.Value + ";")
+	}
+	return b.String()
+}
+
+// TestForcedKnobsWin pins the satellite regression: every explicit knob
+// overrides the planner and is marked forced.
+func TestForcedKnobsWin(t *testing.T) {
+	pl := NewPlanner()
+	yes := true
+	in := baseInput(100) // planner alone would pick solver/serial here
+	in.Forced = Forced{
+		Strategy:    StrategySketch,
+		Tau:         32,
+		Depth:       4,
+		Parallelism: 3,
+		Incremental: &yes,
+	}
+	p := pl.Plan(in)
+	want := map[string]string{
+		"strategy":    StrategySketch,
+		"tau":         "32",
+		"depth":       "4",
+		"parallelism": "3",
+		"maintenance": MaintainPatch,
+	}
+	for name, val := range want {
+		d := p.Decision(name)
+		if d == nil || d.Value != val || !d.Forced {
+			t.Fatalf("decision %q = %+v, want forced %q", name, d, val)
+		}
+	}
+	if p.Tau != 32 || p.Depth != 4 || p.Parallelism != 3 || !p.Incremental {
+		t.Fatalf("plan knobs: %+v", p)
+	}
+	out := p.Explain()
+	if strings.Count(out, "[forced]") != 5 {
+		t.Fatalf("expected 5 [forced] markers:\n%s", out)
+	}
+}
+
+// TestForcedKnobSurvivesSolverPlan: a forced knob shows up in the trail
+// even when the chosen strategy ignores it.
+func TestForcedKnobSurvivesSolverPlan(t *testing.T) {
+	pl := NewPlanner()
+	in := baseInput(100)
+	in.Forced.Depth = 4
+	p := pl.Plan(in)
+	if p.Strategy != StrategySolver {
+		t.Fatalf("strategy=%s", p.Strategy)
+	}
+	d := p.Decision("depth")
+	if d == nil || !d.Forced || d.Value != "4" {
+		t.Fatalf("forced depth missing from solver plan: %+v", d)
+	}
+	if p.Decision("tau") != nil {
+		t.Fatal("unforced tau should be dropped from a solver plan")
+	}
+}
+
+// TestGoldenExplain pins the EXPLAIN text format.
+func TestGoldenExplain(t *testing.T) {
+	pl := NewPlanner()
+	in := Input{
+		Query: "SELECT PACKAGE(R) FROM t R\n  SUCH THAT SUM(v) <= 10 MAXIMIZE SUM(v)",
+		Table: catalog.TableStats{
+			Table: "t", Rows: 100_000, Version: 7,
+			Attrs:     []catalog.AttrStats{{Name: "id"}, {Name: "v"}},
+			WriteRate: 2.5, DeltaRows: 1000, DeltaFrac: 0.01,
+		},
+		N:       100_000,
+		MaxMult: 1,
+		Mix:     linearMix(),
+		Procs:   8,
+	}
+	got := pl.Plan(in).Explain()
+	want := `plan for: SELECT PACKAGE(R) FROM t R SUCH THAT SUM(v) <= 10 MAXIMIZE SUM(v)
+table t: 100000 rows, 2 attrs, 2.50 writes/s, delta 1.0%
+atoms: linear; 2 sum/count; 1 branch
+├─ strategy = sketch-refine  [cost ≈ 1.26e+06]
+│      linear query, 100000 candidates > 4096: partitioned sketch is cheapest (cold tree priced in)
+│      rejected: solver ≈ 3.16e+07
+├─ tau = 64
+│      100000 candidates ≤ 100000: default leaf size
+├─ depth = 2
+│      1563 leaves > 64 top-level vars: 2 levels keep the root small
+├─ parallelism = 8
+│      100000 candidates ≥ 2048: fan out across 8 workers
+├─ maintenance = patch
+│      delta 1.0% of the table ≤ 25% budget (2.50 writes/s): patch stale trees in place
+└─ tree-source = build
+       no cached, persisted, or patchable tree: full offline build
+`
+	if got != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestAnalyzeAtoms drives the query-planner half through real parsed
+// queries.
+func TestAnalyzeAtoms(t *testing.T) {
+	sc := schema.New(
+		schema.Column{Table: "R", Name: "v", Type: schema.TFloat},
+		schema.Column{Table: "R", Name: "w", Type: schema.TFloat},
+	)
+	parse := func(src string) *paql.Analysis {
+		q, err := paql.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		a, err := paql.Analyze(q, sc)
+		if err != nil {
+			t.Fatalf("analyze %q: %v", src, err)
+		}
+		return a
+	}
+	lin := AnalyzeAtoms(parse("SELECT PACKAGE(R) FROM t R REPEAT 0 SUCH THAT SUM(v) <= 10 MAXIMIZE SUM(w)"), nil)
+	if !lin.Linear || !lin.SketchOK || lin.SumCount != 2 || lin.Branches != 1 {
+		t.Fatalf("linear mix: %+v", lin)
+	}
+	mixed := AnalyzeAtoms(parse("SELECT PACKAGE(R) FROM t R REPEAT 0 SUCH THAT AVG(v) >= 1 AND (MIN(w) >= 0 OR MAX(w) <= 9) MAXIMIZE COUNT(*)"), nil)
+	if mixed.Avg != 1 || mixed.MinMax != 2 || mixed.SumCount != 1 {
+		t.Fatalf("mixed mix: %+v", mixed)
+	}
+	if mixed.Branches < 2 {
+		t.Fatalf("disjunction should expand branches: %+v", mixed)
+	}
+	inapp := AnalyzeAtoms(parse("SELECT PACKAGE(R) FROM t R REPEAT 0 SUCH THAT SUM(v) <= 10 MAXIMIZE SUM(w)"), errors.New("no dice"))
+	if inapp.SketchOK || inapp.SketchErr != "no dice" || inapp.Branches != 0 {
+		t.Fatalf("inapplicable mix: %+v", inapp)
+	}
+}
+
+// TestPlanJSONRoundTrip: pbserver serves plans as JSON; the typed plan
+// must survive a round trip.
+func TestPlanJSONRoundTrip(t *testing.T) {
+	pl := NewPlanner()
+	p := pl.Plan(baseInput(100_000))
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Strategy != p.Strategy || len(back.Decisions) != len(p.Decisions) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Decision("strategy").Cost <= 0 {
+		t.Fatal("cost lost in round trip")
+	}
+}
+
+// TestCostModelMonotone sanity-checks the cost formulas the decisions
+// rest on.
+func TestCostModelMonotone(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.SolverCost(1000) >= cm.SolverCost(10_000) {
+		t.Fatal("solver cost must grow with n")
+	}
+	if w, c := cm.SketchCost(100_000, 64, 1, true), cm.SketchCost(100_000, 64, 1, false); w >= c {
+		t.Fatal("warm sketch must be cheaper than cold")
+	}
+	if one, eight := cm.SketchCost(100_000, 64, 1, false), cm.SketchCost(100_000, 64, 8, false); one >= eight {
+		t.Fatal("branches must raise sketch cost")
+	}
+	if cm.EnumCost(50) != cm.EnumCost(41) {
+		t.Fatal("enum cost must saturate")
+	}
+	if cm.ExactBudget() != cm.SolverCost(cm.SketchThreshold) {
+		t.Fatal("budget must derive from the sketch threshold")
+	}
+}

@@ -1,0 +1,295 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Plan runs the execution planner over one input snapshot and returns
+// the decision trail. It is a pure function of the input: same
+// snapshot, same plan.
+func (pl *Planner) Plan(in Input) *Plan {
+	n := in.N
+	procs := in.Procs
+	if procs < 1 {
+		procs = 1
+	}
+	p := &Plan{
+		Query:      in.Query,
+		Table:      in.Table,
+		Candidates: n,
+		Mix:        in.Mix,
+	}
+
+	// Knobs first: τ and depth are functions of size and atom mix
+	// alone, and the cache key the probe needs depends on them.
+	tau := pl.pickTau(p, in)
+	depth := pl.pickDepth(p, in, tau)
+	par := pl.pickParallelism(p, in, procs)
+
+	var cs CacheState
+	if in.Probe != nil {
+		cs = in.Probe(tau, depth)
+	}
+
+	strat := pl.pickStrategy(p, in, tau, cs)
+	p.Strategy = strat
+
+	sketchy := strat == StrategySketch
+	if sketchy || in.Forced.Tau > 0 {
+		p.Tau = tau
+	}
+	if sketchy || in.Forced.Depth > 0 {
+		p.Depth = depth
+	}
+	if sketchy || in.Forced.Parallelism > 0 {
+		p.Parallelism = par
+	}
+	if sketchy {
+		pl.pickMaintenance(p, in)
+		pl.pickTreeSource(p, in, cs)
+	} else {
+		p.Incremental = true
+		// The knob decisions explain values that will not be used; keep
+		// only forced ones so EXPLAIN for a solver plan stays honest.
+		kept := p.Decisions[:0]
+		for _, d := range p.Decisions {
+			if d.Name == "strategy" || d.Forced {
+				kept = append(kept, d)
+			}
+		}
+		p.Decisions = kept
+	}
+
+	// The strategy decision reads best first; knob decisions follow in
+	// pick order.
+	orderDecisions(p)
+	return p
+}
+
+// orderDecisions sorts the trail into display order.
+func orderDecisions(p *Plan) {
+	rank := map[string]int{
+		"strategy": 0, "tau": 1, "depth": 2, "parallelism": 3,
+		"maintenance": 4, "tree-source": 5,
+	}
+	out := make([]Decision, 0, len(p.Decisions))
+	for r := 0; r < len(rank); r++ {
+		for _, d := range p.Decisions {
+			if rank[d.Name] == r {
+				out = append(out, d)
+			}
+		}
+	}
+	p.Decisions = out
+}
+
+// pickTau chooses the leaf-size bound: the default for ordinary tables,
+// quadrupled past LargeTauRows so leaf count — and with it build and
+// descent cost — stays bounded as tables grow.
+func (pl *Planner) pickTau(p *Plan, in Input) int {
+	cm := pl.Cost
+	d := Decision{Name: "tau"}
+	if in.Forced.Tau > 0 {
+		d.Value, d.Forced = strconv.Itoa(in.Forced.Tau), true
+		d.Reason = "explicit partition-size/partitions flag"
+		p.Decisions = append(p.Decisions, d)
+		return in.Forced.Tau
+	}
+	tau := cm.DefaultTau
+	d.Reason = fmt.Sprintf("%d candidates ≤ %d: default leaf size", in.N, cm.LargeTauRows)
+	if in.N > cm.LargeTauRows {
+		tau = cm.LargeTau
+		d.Reason = fmt.Sprintf("%d candidates > %d: larger leaves bound the leaf count", in.N, cm.LargeTauRows)
+	}
+	d.Value = strconv.Itoa(tau)
+	p.Decisions = append(p.Decisions, d)
+	return tau
+}
+
+// pickDepth sizes the hierarchy so the root level fits under MaxTopVars
+// variables: with L leaves the tree needs ⌈log_MaxTopVars(L)⌉ levels.
+// MIN/MAX atoms cap depth at MinMaxDepthCap — envelope relaxation
+// loosens per level, and feasibility there is worth more than solve
+// time.
+func (pl *Planner) pickDepth(p *Plan, in Input, tau int) int {
+	cm := pl.Cost
+	d := Decision{Name: "depth"}
+	if in.Forced.Depth > 0 {
+		d.Value, d.Forced = strconv.Itoa(in.Forced.Depth), true
+		d.Reason = "explicit depth flag"
+		p.Decisions = append(p.Decisions, d)
+		return in.Forced.Depth
+	}
+	leaves := (in.N + tau - 1) / tau
+	if leaves < 1 {
+		leaves = 1
+	}
+	depth := 1
+	if leaves > cm.MaxTopVars {
+		depth = int(math.Ceil(math.Log(float64(leaves)) / math.Log(float64(cm.MaxTopVars))))
+		if depth > cm.MaxDepth {
+			depth = cm.MaxDepth
+		}
+	}
+	d.Reason = fmt.Sprintf("%d leaves fit a single MILP of ≤ %d vars: flat", leaves, cm.MaxTopVars)
+	if depth > 1 {
+		d.Reason = fmt.Sprintf("%d leaves > %d top-level vars: %d levels keep the root small", leaves, cm.MaxTopVars, depth)
+	}
+	if in.Mix.MinMax > 0 && depth > cm.MinMaxDepthCap {
+		depth = cm.MinMaxDepthCap
+		d.Reason = fmt.Sprintf("%d leaves, but %d MIN/MAX atom(s): depth capped at %d to keep envelopes tight", leaves, in.Mix.MinMax, depth)
+	}
+	d.Value = strconv.Itoa(depth)
+	p.Decisions = append(p.Decisions, d)
+	return depth
+}
+
+// pickParallelism fans the build and refine waves across all procs once
+// the table clears the builder's serial cutoff; below it goroutine
+// overhead eats the win.
+func (pl *Planner) pickParallelism(p *Plan, in Input, procs int) int {
+	cm := pl.Cost
+	d := Decision{Name: "parallelism"}
+	if in.Forced.Parallelism > 0 {
+		d.Value, d.Forced = strconv.Itoa(in.Forced.Parallelism), true
+		d.Reason = "explicit parallelism flag"
+		p.Decisions = append(p.Decisions, d)
+		return in.Forced.Parallelism
+	}
+	par := 1
+	d.Reason = fmt.Sprintf("%d candidates < %d: serial avoids fan-out overhead", in.N, cm.ParallelMinRows)
+	if in.N >= cm.ParallelMinRows {
+		par = procs
+		d.Reason = fmt.Sprintf("%d candidates ≥ %d: fan out across %d workers", in.N, cm.ParallelMinRows, procs)
+	}
+	d.Value = strconv.Itoa(par)
+	p.Decisions = append(p.Decisions, d)
+	return par
+}
+
+// pickStrategy is the cost comparison at the heart of the planner.
+// Non-linear queries can only enumerate or local-search; linear ones
+// weigh the exact MILP against SketchRefine — exact wins while its
+// estimate stays under the affordability budget, the cheaper of the two
+// wins beyond it.
+func (pl *Planner) pickStrategy(p *Plan, in Input, tau int, cs CacheState) string {
+	cm := pl.Cost
+	n := in.N
+	d := Decision{Name: "strategy"}
+	if in.Forced.Strategy != "" {
+		d.Value, d.Forced = in.Forced.Strategy, true
+		d.Reason = "explicit strategy flag"
+		p.Decisions = append(p.Decisions, d)
+		return in.Forced.Strategy
+	}
+	if !in.Mix.Linear {
+		enumC, localC := cm.EnumCost(n), cm.LocalSearchCost(n)
+		if n <= cm.ExactEnumMax && in.MaxMult > 0 {
+			d.Value, d.Cost = StrategyPrunedEnum, enumC
+			d.Reason = fmt.Sprintf("non-linear query, %d candidates ≤ %d: exact pruned enumeration is affordable", n, cm.ExactEnumMax)
+			d.Alternatives = []Alternative{{Value: StrategyLocalSearch, Cost: localC}}
+		} else {
+			d.Value, d.Cost = StrategyLocalSearch, localC
+			why := fmt.Sprintf("%d candidates > %d", n, cm.ExactEnumMax)
+			if in.MaxMult <= 0 {
+				why = "unbounded multiplicity"
+			}
+			d.Reason = fmt.Sprintf("non-linear query (%s): local search is the only tractable option", why)
+			d.Alternatives = []Alternative{{Value: StrategyPrunedEnum, Cost: enumC}}
+		}
+		p.Decisions = append(p.Decisions, d)
+		return d.Value
+	}
+	solverC := cm.SolverCost(n)
+	if !in.Mix.SketchOK {
+		d.Value, d.Cost = StrategySolver, solverC
+		d.Reason = fmt.Sprintf("linear query but sketch inapplicable (%s): exact MILP", in.Mix.SketchErr)
+		p.Decisions = append(p.Decisions, d)
+		return StrategySolver
+	}
+	warm := cs.InCache || cs.OnDisk || cs.Patchable
+	sketchC := cm.SketchCost(n, tau, in.Mix.Branches, warm)
+	if solverC <= cm.ExactBudget() {
+		d.Value, d.Cost = StrategySolver, solverC
+		d.Reason = fmt.Sprintf("linear query, %d candidates ≤ %d: exact MILP is affordable", n, cm.SketchThreshold)
+		d.Alternatives = []Alternative{{Value: StrategySketch, Cost: sketchC}}
+		p.Decisions = append(p.Decisions, d)
+		return StrategySolver
+	}
+	if sketchC < solverC {
+		d.Value, d.Cost = StrategySketch, sketchC
+		why := "cold tree priced in"
+		if warm {
+			why = "warm tree available"
+		}
+		d.Reason = fmt.Sprintf("linear query, %d candidates > %d: partitioned sketch is cheapest (%s)", n, cm.SketchThreshold, why)
+		d.Alternatives = []Alternative{{Value: StrategySolver, Cost: solverC}}
+		p.Decisions = append(p.Decisions, d)
+		return StrategySketch
+	}
+	d.Value, d.Cost = StrategySolver, solverC
+	d.Reason = fmt.Sprintf("linear query: sketch estimate exceeds the exact MILP (%d DNF branches)", in.Mix.Branches)
+	d.Alternatives = []Alternative{{Value: StrategySketch, Cost: sketchC}}
+	p.Decisions = append(p.Decisions, d)
+	return StrategySolver
+}
+
+// pickMaintenance decides patch-vs-rebuild from the catalog's delta
+// fraction: nothing to do on read-only tables, patch while the delta is
+// within budget, rebuild past it.
+func (pl *Planner) pickMaintenance(p *Plan, in Input) {
+	cm := pl.Cost
+	d := Decision{Name: "maintenance"}
+	if in.Forced.Incremental != nil {
+		d.Forced = true
+		if *in.Forced.Incremental {
+			d.Value = MaintainPatch
+		} else {
+			d.Value = MaintainRebuild
+		}
+		d.Reason = "explicit incremental flag"
+	} else {
+		frac := in.Table.DeltaFrac
+		switch {
+		case in.Table.DeltaRows == 0 && in.Table.WriteRate == 0:
+			d.Value = MaintainNone
+			d.Reason = "table looks read-only: cached trees stay exact"
+		case frac <= cm.PatchMaxFrac:
+			d.Value = MaintainPatch
+			d.Reason = fmt.Sprintf("delta %.1f%% of the table ≤ %.0f%% budget (%.2f writes/s): patch stale trees in place",
+				100*frac, 100*cm.PatchMaxFrac, in.Table.WriteRate)
+		default:
+			d.Value = MaintainRebuild
+			d.Reason = fmt.Sprintf("delta %.1f%% of the table > %.0f%% budget: rebuilding beats patching",
+				100*frac, 100*cm.PatchMaxFrac)
+		}
+	}
+	p.Maintenance = d.Value
+	p.Incremental = d.Value != MaintainRebuild
+	p.Decisions = append(p.Decisions, d)
+}
+
+// pickTreeSource predicts where the partition tree will come from,
+// mirroring the engine's acquisition order: memory cache, then the
+// on-disk store, then patching a stale base, then a full build.
+func (pl *Planner) pickTreeSource(p *Plan, in Input, cs CacheState) {
+	d := Decision{Name: "tree-source"}
+	switch {
+	case cs.InCache:
+		d.Value = SourceCache
+		d.Reason = "exact tree for this fingerprint is warm in the in-memory LRU"
+	case cs.OnDisk:
+		d.Value = SourceDisk
+		d.Reason = "persisted tree for this fingerprint can be loaded from the store"
+	case cs.Patchable && p.Incremental:
+		d.Value = SourcePatch
+		d.Reason = fmt.Sprintf("stale base tree plus write lineage (delta %.1f%% of candidates): patch instead of rebuild", 100*cs.PatchFrac)
+	default:
+		d.Value = SourceBuild
+		d.Reason = "no cached, persisted, or patchable tree: full offline build"
+	}
+	p.TreeSource = d.Value
+	p.Decisions = append(p.Decisions, d)
+}

@@ -137,6 +137,20 @@ func (c *Cache) Get(k Key) (*Tree, bool) {
 	return el.Value.(*cacheEntry).tree, true
 }
 
+// Peek reports whether a tree for the key is cached without touching
+// the hit/miss counters or the LRU order. The planner uses it to cost
+// warm-vs-cold alternatives — a probe must not masquerade as cache
+// traffic or promote an entry nobody used.
+func (c *Cache) Peek(k Key) (*Tree, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).tree, true
+}
+
 // Put stores a tree, evicting the least recently used entry beyond
 // capacity.
 func (c *Cache) Put(k Key, t *Tree) {

@@ -73,10 +73,12 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/minidb"
 	"repro/internal/paql"
+	"repro/internal/plan"
 	"repro/internal/sketch"
 	"repro/internal/template"
 	"repro/internal/viz"
@@ -94,13 +96,20 @@ type System struct {
 	db          *minidb.DB
 	sketchCache *sketch.Cache
 	sketchMemo  *core.FingerprintMemo
+	catalog     *catalog.Catalog
 }
 
 // New creates an empty system.
 func New() *System {
-	return &System{db: minidb.New(), sketchCache: sketch.NewCache(0),
-		sketchMemo: core.NewFingerprintMemo()}
+	db := minidb.New()
+	return &System{db: db, sketchCache: sketch.NewCache(0),
+		sketchMemo: core.NewFingerprintMemo(), catalog: catalog.New(db)}
 }
+
+// Catalog exposes the system's table-statistics catalog: per-table row
+// counts, per-attribute min/max/null-fraction/distinct estimates, and
+// write rates derived from the delta log — the planner's input.
+func (s *System) Catalog() *catalog.Catalog { return s.catalog }
 
 // SketchCache exposes the system's shared partition-tree cache (for
 // stats inspection and explicit clearing).
@@ -225,7 +234,34 @@ func WithSketchPersistDir(dir string) Option {
 // split locally — instead of rebuilt from scratch, and warm
 // evaluations hash only the written rows rather than every candidate.
 func WithSketchIncremental(enabled bool) Option {
-	return func(o *core.Options) { o.SketchIncremental = enabled }
+	return func(o *core.Options) {
+		o.SketchIncremental = enabled
+		// An explicit caller choice is "forced": the planner's
+		// patch-vs-rebuild decision must not override it.
+		o.SketchIncrementalSet = true
+	}
+}
+
+// Planner is the cost-based query planner: it binds a query against the
+// catalog and picks the evaluation strategy and every SketchRefine knob,
+// recording each decision with a cost estimate and reason.
+type Planner = plan.Planner
+
+// CostModel holds the planner's tunable thresholds and cost formulas.
+type CostModel = plan.CostModel
+
+// QueryPlan is a planner decision trail: strategy, knobs, maintenance
+// and tree-source choices, each with alternatives and reasons. Render it
+// with its Explain method.
+type QueryPlan = plan.Plan
+
+// NewPlanner returns a planner with the default cost model.
+func NewPlanner() *Planner { return plan.NewPlanner() }
+
+// WithPlanner substitutes a custom planner (e.g. a tuned cost model)
+// for the default one.
+func WithPlanner(pl *Planner) Option {
+	return func(o *core.Options) { o.Planner = pl }
 }
 
 func (s *System) buildOptions(opts []Option) core.Options {
@@ -240,6 +276,9 @@ func (s *System) buildOptions(opts []Option) core.Options {
 	}
 	if o.SketchMemo == nil && !o.SketchNoCache {
 		o.SketchMemo = s.sketchMemo
+	}
+	if o.Catalog == nil {
+		o.Catalog = s.catalog
 	}
 	return o
 }
@@ -265,6 +304,18 @@ func (s *System) Prepare(paqlText string) (*core.Prepared, error) {
 // Parse parses PaQL without evaluating it.
 func (s *System) Parse(paqlText string) (*paql.Query, error) {
 	return paql.Parse(paqlText)
+}
+
+// Explain plans a PaQL query without executing it, returning the
+// planner's decision trail (strategy, SketchRefine knobs, maintenance,
+// tree source — each with cost estimates and reasons). A leading
+// EXPLAIN keyword in the text is accepted and ignored.
+func (s *System) Explain(paqlText string, opts ...Option) (*QueryPlan, error) {
+	prep, err := s.Prepare(paqlText)
+	if err != nil {
+		return nil, err
+	}
+	return prep.Plan(s.buildOptions(opts)), nil
 }
 
 // Explore opens an adaptive-exploration session (§3.3): evaluate,

@@ -167,6 +167,101 @@ func TestPublicAPIExploreAndTemplate(t *testing.T) {
 	}
 }
 
+// TestPublicAPIExplain drives the planner through the library surface:
+// System.Explain returns the decision trail without executing, and an
+// EXPLAIN-prefixed Query plans but returns no packages.
+func TestPublicAPIExplain(t *testing.T) {
+	sys := newSystem(t, 200)
+	qp, err := sys.Explain(mealQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qp.Strategy == "" || qp.Decision("strategy") == nil {
+		t.Fatalf("plan missing strategy: %+v", qp)
+	}
+	if qp.Candidates == 0 {
+		t.Errorf("plan candidates = 0")
+	}
+	text := qp.Explain()
+	for _, want := range []string{"plan for:", "strategy = "} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Explain() missing %q:\n%s", want, text)
+		}
+	}
+	// Catalog stats flow into the plan.
+	if qp.Table.Rows != 200 {
+		t.Errorf("plan table rows = %d, want 200", qp.Table.Rows)
+	}
+
+	// EXPLAIN-prefixed query: planned, not executed.
+	res, err := sys.Query("EXPLAIN " + mealQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Packages) != 0 {
+		t.Errorf("EXPLAIN executed the query: %d packages", len(res.Packages))
+	}
+	if res.Stats.Plan == nil {
+		t.Error("EXPLAIN result has no plan")
+	}
+	found := false
+	for _, n := range res.Stats.Notes {
+		if strings.Contains(n, "EXPLAIN") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("EXPLAIN note missing: %v", res.Stats.Notes)
+	}
+
+	// Plain queries also carry the plan in stats.
+	res2, err := sys.Query(mealQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.Plan == nil || res2.Stats.Plan.Strategy == "" {
+		t.Error("executed query missing stats plan")
+	}
+}
+
+// TestPublicAPIExplainForcedOptions is the library-surface forced-flags
+// regression: every explicit knob option overrides the planner and is
+// marked forced in the plan.
+func TestPublicAPIExplainForcedOptions(t *testing.T) {
+	sys := newSystem(t, 200)
+	qp, err := sys.Explain(mealQuery,
+		pb.WithStrategy(pb.SketchRefine), pb.WithSketchPartitionSize(32),
+		pb.WithSketchDepth(2), pb.WithSketchParallelism(3),
+		pb.WithSketchIncremental(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"strategy", "tau", "depth", "parallelism", "maintenance"} {
+		d := qp.Decision(name)
+		if d == nil || !d.Forced {
+			t.Errorf("decision %s not forced: %+v", name, d)
+		}
+	}
+	if qp.Strategy != "sketch-refine" || qp.Tau != 32 || qp.Depth != 2 || qp.Parallelism != 3 {
+		t.Errorf("forced knobs not honored: %+v", qp)
+	}
+	if qp.Maintenance != "rebuild" || qp.Incremental {
+		t.Errorf("WithSketchIncremental(false) not forced: maintenance=%s incremental=%v",
+			qp.Maintenance, qp.Incremental)
+	}
+
+	// A custom planner with a tuned cost model changes the decision.
+	pl := pb.NewPlanner()
+	pl.Cost.SketchThreshold = 100 // 200-row table now clears the sketch bar
+	qp2, err := sys.Explain(mealQuery, pb.WithPlanner(pl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qp2.Strategy != "sketch-refine" {
+		t.Errorf("tuned planner strategy = %s, want sketch-refine", qp2.Strategy)
+	}
+}
+
 func TestFormatResultOutput(t *testing.T) {
 	sys := newSystem(t, 80)
 	res, err := sys.Query(mealQuery)
