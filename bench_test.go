@@ -7,6 +7,7 @@
 package packagebuilder
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/explore"
+	"repro/internal/lifecycle"
 	"repro/internal/minidb"
 	"repro/internal/search"
 	"repro/internal/sketch"
@@ -503,4 +505,39 @@ func BenchmarkSketchPartition(b *testing.B) {
 			b.Fatal("no partitions")
 		}
 	}
+}
+
+// BenchmarkE14_LifecycleLoad pushes concurrent clients through the
+// admission controller over a warmed partition tree — the Go-bench
+// twin of cmd/pbench -exp e14's QPS/p50/p95/p99 table. Each iteration
+// is one admitted query (acquire, solve, release) racing b.RunParallel
+// workers for the controller's 4 slots.
+func BenchmarkE14_LifecycleLoad(b *testing.B) {
+	db := benchDB(b, 20000)
+	cache := sketch.NewCache(0)
+	opts := core.Options{Strategy: core.SketchRefineStrategy, Seed: 1,
+		SketchCache: cache, SketchMemo: core.NewFingerprintMemo()}
+	prep, err := core.Prepare(db, benchMealQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep.SketchCache = cache
+	if _, err := prep.Run(opts); err != nil {
+		b.Fatal(err) // warm the tree outside the timed region
+	}
+	adm := lifecycle.NewController(4, 1<<20)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			release, err := adm.Acquire(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, rerr := prep.RunContext(context.Background(), opts)
+			release()
+			if rerr != nil {
+				b.Fatal(rerr)
+			}
+		}
+	})
 }

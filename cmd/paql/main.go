@@ -43,16 +43,29 @@
 //
 //	paql -gen recipes:100000:1 -q "EXPLAIN SELECT PACKAGE(R) AS P FROM recipes R
 //	     SUCH THAT COUNT(*) = 3 MAXIMIZE SUM(P.protein)"
+//
+// Lifecycle controls: -timeout sets a per-query soft time budget (the
+// best package found so far is returned at expiry), -mem-budget
+// refuses queries whose planner-predicted working set exceeds the
+// given bytes, and Ctrl-C cancels the in-flight solve cooperatively.
+// One-shot runs exit with distinct codes per outcome so scripts can
+// branch: 2 provably infeasible, 3 canceled, 4 over budget, 1 other
+// errors.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	pb "repro"
 	"repro/internal/dataset"
@@ -81,6 +94,8 @@ func main() {
 	sketchDir := flag.String("sketch-dir", "", "persist sketch-refine partition trees to this directory (cold starts load instead of rebuilding)")
 	sketchIncr := flag.Bool("sketch-incr", true, "patch cached sketch-refine partition trees in place after INSERT/DELETE instead of rebuilding (REPL sessions)")
 	explain := flag.Bool("explain", false, "plan the query — print the strategy and knob decisions — without executing it")
+	timeout := flag.Duration("timeout", 0, "per-query soft time budget; best-effort packages at expiry (0 = none)")
+	memBudget := flag.Int64("mem-budget", 0, "per-query memory budget in bytes, enforced at solve admission (0 = unlimited)")
 	flag.Parse()
 	// Only an explicit -sketch-incr on the command line forces the
 	// patch-vs-rebuild choice; otherwise the planner decides per query.
@@ -123,6 +138,7 @@ func main() {
 		sketchDepth: *sketchDepth, sketchCache: *sketchCache,
 		sketchPar: *sketchPar, sketchDir: *sketchDir, sketchIncr: *sketchIncr,
 		sketchIncrSet: sketchIncrSet, explain: *explain,
+		timeout: *timeout, memBudget: *memBudget,
 	}
 	if text == "" {
 		repl(sys, cli)
@@ -135,7 +151,11 @@ func main() {
 	// a directory with -sketch-dir, which is exactly the ask to reuse
 	// the tree across one-shot runs.
 	cli.sketchCache = false
-	runQuery(sys, text, cli)
+	// Ctrl-C / SIGTERM cancels the solve cooperatively: partial work is
+	// discarded and the process exits with the canceled exit code (3).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runQuery(ctx, sys, text, cli)
 }
 
 // cliOpts carries the evaluation flags shared by one-shot and REPL use.
@@ -153,24 +173,43 @@ type cliOpts struct {
 	sketchIncr    bool
 	sketchIncrSet bool
 	explain       bool
+	timeout       time.Duration
+	memBudget     int64
 }
 
-func runQuery(sys *pb.System, text string, cli cliOpts) {
+func runQuery(ctx context.Context, sys *pb.System, text string, cli cliOpts) {
 	if cli.explain || isExplain(text) {
-		if err := runExplain(sys, os.Stdout, text, cli); err != nil {
-			fail("%v", err)
+		if err := runExplain(ctx, sys, os.Stdout, text, cli); err != nil {
+			failErr(err)
 		}
 		return
 	}
 	opts, err := buildOpts(cli)
 	if err != nil {
-		fail("%v", err)
+		failErr(err)
 	}
-	res, err := sys.Query(text, opts...)
+	res, err := sys.QueryContext(ctx, text, opts...)
 	if err != nil {
-		fail("%v", err)
+		failErr(err)
 	}
 	pb.FormatResult(os.Stdout, sys, res)
+}
+
+// failErr prints the error and exits with a lifecycle-aware code so
+// scripts can branch on the outcome: 2 when the query is provably
+// infeasible, 3 when it was canceled or timed out empty-handed, 4 when
+// the memory budget refused it, 1 for everything else.
+func failErr(err error) {
+	fmt.Fprintf(os.Stderr, "paql: %v\n", err)
+	switch {
+	case errors.Is(err, pb.ErrInfeasible):
+		os.Exit(2)
+	case errors.Is(err, pb.ErrCanceled):
+		os.Exit(3)
+	case errors.Is(err, pb.ErrBudgetExceeded):
+		os.Exit(4)
+	}
+	os.Exit(1)
 }
 
 // isExplain reports whether the statement starts with the EXPLAIN
@@ -182,12 +221,12 @@ func isExplain(text string) bool {
 
 // runExplain plans the query without executing it and prints the
 // planner's decision trail.
-func runExplain(sys *pb.System, w io.Writer, text string, cli cliOpts) error {
+func runExplain(ctx context.Context, sys *pb.System, w io.Writer, text string, cli cliOpts) error {
 	opts, err := buildOpts(cli)
 	if err != nil {
 		return err
 	}
-	qp, err := sys.Explain(text, opts...)
+	qp, err := sys.ExplainContext(ctx, text, opts...)
 	if err != nil {
 		return err
 	}
@@ -225,6 +264,12 @@ func buildOpts(cli cliOpts) ([]pb.Option, error) {
 	opts = append(opts, pb.WithSketchCache(cli.sketchCache))
 	if cli.sketchIncrSet {
 		opts = append(opts, pb.WithSketchIncremental(cli.sketchIncr))
+	}
+	if cli.timeout > 0 {
+		opts = append(opts, pb.WithTimeout(cli.timeout))
+	}
+	if cli.memBudget > 0 {
+		opts = append(opts, pb.WithMemoryBudget(cli.memBudget))
 	}
 	return opts, nil
 }
@@ -289,9 +334,14 @@ func repl(sys *pb.System, cli cliOpts) {
 }
 
 func execStmt(sys *pb.System, stmt string, cli cliOpts) {
+	// Arm a per-statement signal context: Ctrl-C during a long solve
+	// cancels just that query (the REPL prints the error and prompts
+	// again); at the prompt the default handler still quits the REPL.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	upper := strings.ToUpper(stmt)
 	if isExplain(stmt) {
-		if err := runExplain(sys, os.Stdout, stmt, cli); err != nil {
+		if err := runExplain(ctx, sys, os.Stdout, stmt, cli); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 		return
@@ -302,7 +352,7 @@ func execStmt(sys *pb.System, stmt string, cli cliOpts) {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return
 		}
-		res, err := sys.Query(stmt, opts...)
+		res, err := sys.QueryContext(ctx, stmt, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return
@@ -310,7 +360,7 @@ func execStmt(sys *pb.System, stmt string, cli cliOpts) {
 		pb.FormatResult(os.Stdout, sys, res)
 		return
 	}
-	res, err := sys.ExecSQL(stmt)
+	res, err := sys.ExecSQLContext(ctx, stmt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		return

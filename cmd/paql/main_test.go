@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestRunExplainPrintsPlan(t *testing.T) {
 	sys := testSystem(t)
 	cli := cliOpts{strategy: "auto", seed: 1, sketchIncr: true}
 	var buf strings.Builder
-	err := runExplain(sys, &buf, `EXPLAIN SELECT PACKAGE(R) AS P FROM recipes R
+	err := runExplain(context.Background(), sys, &buf, `EXPLAIN SELECT PACKAGE(R) AS P FROM recipes R
 		SUCH THAT COUNT(*) = 3 MAXIMIZE SUM(P.protein)`, cli)
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +66,7 @@ func TestRunExplainForcedFlags(t *testing.T) {
 	cli := cliOpts{strategy: "sketch-refine", seed: 1, sketchSize: 32, sketchDepth: 2,
 		sketchPar: 3, sketchIncr: false, sketchIncrSet: true}
 	var buf strings.Builder
-	err := runExplain(sys, &buf, `SELECT PACKAGE(R) AS P FROM recipes R
+	err := runExplain(context.Background(), sys, &buf, `SELECT PACKAGE(R) AS P FROM recipes R
 		SUCH THAT COUNT(*) = 3 MAXIMIZE SUM(P.protein)`, cli)
 	if err != nil {
 		t.Fatal(err)

@@ -9,19 +9,26 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/explore"
+	"repro/internal/lifecycle"
 	"repro/internal/minidb"
 	"repro/internal/sketch"
 	"repro/internal/viz"
@@ -62,6 +69,14 @@ type server struct {
 	// cat is the table-statistics catalog the cost-based planner reads:
 	// row counts, attribute stats and write rates from the delta log.
 	cat *catalog.Catalog
+	// adm bounds concurrent solves: excess requests queue FIFO, then
+	// shed with 429 + Retry-After once the queue is full or the server
+	// is draining. Cheap handlers (pin, suggest, index) bypass it.
+	adm *lifecycle.Controller
+	// memBudget and timeout are per-query lifecycle limits applied to
+	// every solve (-mem-budget, -timeout); zero disables each.
+	memBudget int64
+	timeout   time.Duration
 
 	mu  sync.RWMutex
 	ses *explore.Session // one demo session, like the booth kiosk
@@ -69,10 +84,12 @@ type server struct {
 
 // newServer builds a server over a loaded database with an empty
 // partition-tree cache and fingerprint memo, persisting trees under
-// persistDir when set.
+// persistDir when set. The admission controller starts with the flag
+// defaults; main overrides it from -max-inflight/-max-queue.
 func newServer(db *minidb.DB, persistDir string, incremental bool) *server {
 	return &server{db: db, cache: sketch.NewCache(0), memo: core.NewFingerprintMemo(),
-		persistDir: persistDir, incremental: incremental, cat: catalog.New(db)}
+		persistDir: persistDir, incremental: incremental, cat: catalog.New(db),
+		adm: lifecycle.NewController(4, 16)}
 }
 
 // session returns the current exploration session or an error when no
@@ -92,6 +109,11 @@ func main() {
 	seed := flag.Int64("seed", 42, "dataset seed")
 	sketchDir := flag.String("sketch-dir", "", "persist sketch-refine partition trees to this directory (survives restarts)")
 	sketchIncr := flag.Bool("sketch-incr", true, "patch cached sketch-refine partition trees in place after writes instead of rebuilding")
+	maxInFlight := flag.Int("max-inflight", 4, "concurrent solves admitted; excess requests queue")
+	maxQueue := flag.Int("max-queue", 16, "queued solves before shedding with 429")
+	memBudget := flag.Int64("mem-budget", 0, "per-query memory budget in bytes, enforced at solve admission (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "per-query soft time budget; best-effort packages at expiry (0 = none)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window on SIGTERM/SIGINT")
 	flag.Parse()
 
 	db := minidb.New()
@@ -99,6 +121,9 @@ func main() {
 		log.Fatal(err)
 	}
 	s := newServer(db, *sketchDir, *sketchIncr)
+	s.adm = lifecycle.NewController(*maxInFlight, *maxQueue)
+	s.memBudget = *memBudget
+	s.timeout = *timeout
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -107,6 +132,7 @@ func main() {
 	mux.HandleFunc("/api/pin", s.handlePin)
 	mux.HandleFunc("/api/suggest", s.handleSuggest)
 	mux.HandleFunc("/api/summary", s.handleSummary)
+	mux.HandleFunc("/api/lifecycle", s.handleLifecycle)
 	fmt.Fprintf(os.Stderr, "PackageBuilder meal planner on http://localhost%s (%d recipes)\n", *addr, *n)
 	// A hardened server: a slow or hostile client cannot hold a
 	// connection (and its handler goroutine) open indefinitely, and
@@ -120,7 +146,31 @@ func main() {
 		IdleTimeout:       120 * time.Second,
 		MaxHeaderBytes:    1 << 20,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	// Graceful shutdown: the first SIGTERM/SIGINT stops admission (new
+	// solves shed with 429, queued waiters are released), lets in-flight
+	// solves finish inside the drain window, then closes the listener. A
+	// second signal aborts immediately via the restored default handler.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	errC := make(chan error, 1)
+	go func() { errC <- srv.ListenAndServe() }()
+	select {
+	case err := <-errC:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal behavior: second signal kills
+		log.Printf("pbserver: shutdown signal — draining for up to %s", *drain)
+		s.adm.BeginDrain()
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("pbserver: drain window expired (%v); closing", err)
+			_ = srv.Close()
+		}
+		st := s.adm.Stats()
+		log.Printf("pbserver: stopped (admitted %d, shed %d)", st.Admitted, st.Shed)
+	}
 }
 
 type pkgJSON struct {
@@ -158,7 +208,11 @@ func (s *server) packageJSON(ses *explore.Session, p *core.Package, stats *core.
 		out.Stats["candidates"] = stats.Candidates
 		out.Stats["bounds"] = stats.Bounds.String()
 		out.Stats["elapsedMs"] = float64(stats.Elapsed.Microseconds()) / 1000
+		if stats.MemoryEstimate > 0 {
+			out.Stats["memoryEstimate"] = stats.MemoryEstimate
+		}
 		if stats.Partitions > 0 {
+			out.Stats["sketchCoalesced"] = stats.SketchCoalesced
 			out.Stats["partitions"] = stats.Partitions
 			out.Stats["sketchLevels"] = stats.SketchLevels
 			out.Stats["sketchTopVars"] = stats.SketchTopVars
@@ -188,6 +242,19 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	return json.NewDecoder(r.Body).Decode(v)
 }
 
+// admit gates a handler's solve work through the admission controller.
+// On refusal it writes the 429 (shed) or 408 (client gone while
+// queued) response itself and returns ok=false; on success the caller
+// must defer the release.
+func (s *server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	release, err := s.adm.Acquire(r.Context())
+	if err != nil {
+		s.httpErr(w, err)
+		return nil, false
+	}
+	return release, true
+}
+
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Query       string `json:"query"`
@@ -198,7 +265,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Explain     bool   `json:"explain"`     // plan only: return the decision trail, don't execute
 	}
 	if err := decodeJSON(w, r, &req); err != nil {
-		httpErr(w, err)
+		s.httpErr(w, err)
 		return
 	}
 	incremental := s.incremental
@@ -211,19 +278,22 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// Only an explicit request field forces patch-vs-rebuild; the
 		// server default leaves the planner in charge.
 		SketchIncrementalSet: req.SketchIncr != nil,
-		Catalog:              s.cat}
+		Catalog:              s.cat,
+		// Per-query lifecycle limits: the soft time budget (hard ctx
+		// deadline trails it) and the memory-admission gate.
+		Timeout: s.timeout, MemoryBudget: s.memBudget}
 	if req.Strategy != "" {
 		st, err := core.ParseStrategy(req.Strategy)
 		if err != nil {
-			httpErr(w, err)
+			s.httpErr(w, err)
 			return
 		}
 		opts.Strategy = st
 	}
 	if req.Explain {
-		prep, err := core.Prepare(s.db, req.Query)
+		prep, err := core.PrepareContext(r.Context(), s.db, req.Query)
 		if err != nil {
-			httpErr(w, err)
+			s.httpErr(w, err)
 			return
 		}
 		prep.SketchCache = s.cache
@@ -232,15 +302,22 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]any{"plan": qp, "explain": qp.Explain()})
 		return
 	}
-	// Evaluation is the expensive part; it runs without the lock so
-	// concurrent queries don't serialize behind one another.
-	ses, err := explore.NewSession(s.db, req.Query, opts)
-	if err != nil {
-		httpErr(w, err)
+	// Evaluation is the expensive part; it needs an admission slot and
+	// runs without the lock so concurrent queries don't serialize
+	// behind one another. The request context cancels the solve when
+	// the client disconnects.
+	release, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
-	if _, err := ses.Refresh(); err != nil {
-		httpErr(w, err)
+	defer release()
+	ses, err := explore.NewSessionContext(r.Context(), s.db, req.Query, opts)
+	if err != nil {
+		s.httpErr(w, err)
+		return
+	}
+	if _, err := ses.RefreshContext(r.Context()); err != nil {
+		s.httpErr(w, err)
 		return
 	}
 	// Render before publishing: once s.ses is swapped, concurrent
@@ -254,14 +331,19 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleReplace(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.ses == nil {
-		httpErr(w, fmt.Errorf("no active query"))
+		s.httpErr(w, fmt.Errorf("no active query"))
 		return
 	}
-	if _, err := s.ses.Replace(); err != nil {
-		httpErr(w, err)
+	if _, err := s.ses.ReplaceContext(r.Context()); err != nil {
+		s.httpErr(w, err)
 		return
 	}
 	writeJSON(w, s.packageJSON(s.ses, s.ses.Current(), s.ses.Stats()))
@@ -273,13 +355,13 @@ func (s *server) handlePin(w http.ResponseWriter, r *http.Request) {
 		Unpin bool `json:"unpin"`
 	}
 	if err := decodeJSON(w, r, &req); err != nil {
-		httpErr(w, err)
+		s.httpErr(w, err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.ses == nil {
-		httpErr(w, fmt.Errorf("no active query"))
+		s.httpErr(w, fmt.Errorf("no active query"))
 		return
 	}
 	if req.Unpin {
@@ -289,7 +371,7 @@ func (s *server) handlePin(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	} else if err := s.ses.PinRowID(req.RowID); err != nil {
-		httpErr(w, err)
+		s.httpErr(w, err)
 		return
 	}
 	writeJSON(w, map[string]any{"pinned": s.ses.Pinned()})
@@ -298,41 +380,59 @@ func (s *server) handlePin(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	ses, err := s.session()
 	if err != nil {
-		httpErr(w, err)
+		s.httpErr(w, err)
 		return
 	}
 	col := r.URL.Query().Get("column")
 	// Suggest reads only the session's immutable prepared query, so it
-	// runs without the lock, like handleSummary's prep.Run.
+	// runs without the lock or an admission slot, like handlePin.
 	sugg, err := ses.Suggest(explore.Highlight{Column: col, Row: -1})
 	if err != nil {
-		httpErr(w, err)
+		s.httpErr(w, err)
 		return
 	}
 	writeJSON(w, sugg)
 }
 
+// handleLifecycle reports the admission controller's counters — the
+// load-test and ops surface for watching in-flight/queued/shed.
+func (s *server) handleLifecycle(w http.ResponseWriter, r *http.Request) {
+	st := s.adm.Stats()
+	writeJSON(w, map[string]any{
+		"inFlight": st.InFlight,
+		"queued":   st.Queued,
+		"admitted": st.Admitted,
+		"shed":     st.Shed,
+		"draining": st.Draining,
+	})
+}
+
 func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	ses, err := s.session()
 	if err != nil {
-		httpErr(w, err)
+		s.httpErr(w, err)
 		return
 	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	s.mu.RLock()
 	prep := ses.Prepared()
 	s.mu.RUnlock()
-	// prep.Run is a pure read over the prepared query and the database;
-	// it needs no lock, so summaries render concurrently too.
-	res, err := prep.Run(core.Options{Limit: 9, Seed: 1, SketchCache: s.cache,
+	// prep.RunContext is a pure read over the prepared query and the
+	// database; it needs no lock, so summaries render concurrently too.
+	res, err := prep.RunContext(r.Context(), core.Options{Limit: 9, Seed: 1, SketchCache: s.cache,
 		SketchPersistDir: s.persistDir, SketchMemo: s.memo, SketchIncremental: s.incremental,
-		Catalog: s.cat})
+		Catalog: s.cat, Timeout: s.timeout, MemoryBudget: s.memBudget})
 	if err != nil {
-		httpErr(w, err)
+		s.httpErr(w, err)
 		return
 	}
 	sum, err := viz.Summarize(prep, res.Packages, 0, !res.Stats.Exact)
 	if err != nil {
-		httpErr(w, err)
+		s.httpErr(w, err)
 		return
 	}
 	writeJSON(w, sum)
@@ -348,10 +448,29 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func httpErr(w http.ResponseWriter, err error) {
+// httpErr maps the lifecycle error taxonomy onto HTTP statuses so
+// clients can react mechanically: 429 + Retry-After when the query was
+// shed, 408 when the caller's context died (disconnect or deadline
+// empty-handed), 422 for queries the engine refuses to or provably
+// cannot answer, and 400 for everything else (parse errors, bad
+// parameters). The JSON body's "code" field carries the category.
+func (s *server) httpErr(w http.ResponseWriter, err error) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusBadRequest)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	status, code := http.StatusBadRequest, "bad_request"
+	switch {
+	case errors.Is(err, lifecycle.ErrAdmission):
+		status, code = http.StatusTooManyRequests, "admission"
+		secs := int(math.Ceil(s.adm.RetryAfter().Seconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	case errors.Is(err, lifecycle.ErrCanceled):
+		status, code = http.StatusRequestTimeout, "canceled"
+	case errors.Is(err, lifecycle.ErrBudgetExceeded):
+		status, code = http.StatusUnprocessableEntity, "budget"
+	case errors.Is(err, lifecycle.ErrInfeasible):
+		status, code = http.StatusUnprocessableEntity, "infeasible"
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error(), "code": code})
 }
 
 const indexHTML = `<!doctype html>

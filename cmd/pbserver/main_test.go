@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/lifecycle"
 	"repro/internal/minidb"
 )
 
@@ -313,6 +315,107 @@ func TestPlannedStrategyStat(t *testing.T) {
 	ps, _ := stats["plannedStrategy"].(string)
 	if ps == "" {
 		t.Errorf("stats.plannedStrategy missing: %v", stats)
+	}
+}
+
+// TestAdmissionShedding saturates a 1-slot/0-queue controller and
+// checks the shed response: 429, a Retry-After hint, and the machine
+// code "admission".
+func TestAdmissionShedding(t *testing.T) {
+	s := testServer(t)
+	s.adm = lifecycle.NewController(1, 0)
+	release, err := s.adm.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	rec, _ := postJSON(t, s.handleQuery, `{"query": `+mustJSON(demoQuery)+`}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated query status = %d: %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	var body map[string]string
+	_ = json.Unmarshal(rec.Body.Bytes(), &body)
+	if body["code"] != "admission" {
+		t.Errorf("code = %q, want admission", body["code"])
+	}
+	// Draining sheds the same way.
+	s.adm = lifecycle.NewController(1, 0)
+	s.adm.BeginDrain()
+	rec2, _ := postJSON(t, s.handleQuery, `{"query": `+mustJSON(demoQuery)+`}`)
+	if rec2.Code != http.StatusTooManyRequests {
+		t.Errorf("draining query status = %d", rec2.Code)
+	}
+	// The slot freed: a fresh controller admits again.
+	s.adm = lifecycle.NewController(1, 0)
+	rec3, _ := postJSON(t, s.handleQuery, `{"query": `+mustJSON(demoQuery)+`}`)
+	if rec3.Code != 200 {
+		t.Errorf("post-shed query status = %d: %s", rec3.Code, rec3.Body)
+	}
+}
+
+// TestTypedErrorStatuses checks each lifecycle outcome maps to its
+// HTTP status and code field.
+func TestTypedErrorStatuses(t *testing.T) {
+	s := testServer(t)
+	// Provably infeasible: 422 / infeasible.
+	infeasible := `SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) >= 5 AND COUNT(*) <= 2`
+	rec, _ := postJSON(t, s.handleQuery, `{"query": `+mustJSON(infeasible)+`}`)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("infeasible status = %d: %s", rec.Code, rec.Body)
+	}
+	var body map[string]string
+	_ = json.Unmarshal(rec.Body.Bytes(), &body)
+	if body["code"] != "infeasible" {
+		t.Errorf("code = %q, want infeasible", body["code"])
+	}
+	// Memory budget refusal: 422 / budget.
+	s.memBudget = 1
+	rec2, _ := postJSON(t, s.handleQuery, `{"query": `+mustJSON(demoQuery)+`}`)
+	if rec2.Code != http.StatusUnprocessableEntity {
+		t.Errorf("budget status = %d: %s", rec2.Code, rec2.Body)
+	}
+	_ = json.Unmarshal(rec2.Body.Bytes(), &body)
+	if body["code"] != "budget" {
+		t.Errorf("code = %q, want budget", body["code"])
+	}
+	s.memBudget = 0
+	// Dead request context: 408 / canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/api/query",
+		strings.NewReader(`{"query": `+mustJSON(demoQuery)+`}`)).WithContext(ctx)
+	rec3 := httptest.NewRecorder()
+	s.handleQuery(rec3, req)
+	if rec3.Code != http.StatusRequestTimeout {
+		t.Errorf("canceled status = %d: %s", rec3.Code, rec3.Body)
+	}
+	_ = json.Unmarshal(rec3.Body.Bytes(), &body)
+	if body["code"] != "canceled" {
+		t.Errorf("code = %q, want canceled", body["code"])
+	}
+}
+
+// TestLifecycleEndpoint checks the ops counters surface.
+func TestLifecycleEndpoint(t *testing.T) {
+	s := testServer(t)
+	if rec, _ := postJSON(t, s.handleQuery, `{"query": `+mustJSON(demoQuery)+`}`); rec.Code != 200 {
+		t.Fatalf("seed query: %s", rec.Body)
+	}
+	req := httptest.NewRequest("GET", "/api/lifecycle", nil)
+	rec := httptest.NewRecorder()
+	s.handleLifecycle(rec, req)
+	var st struct {
+		Admitted uint64 `json:"admitted"`
+		Draining bool   `json:"draining"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Admitted != 1 || st.Draining {
+		t.Errorf("stats = %+v", st)
 	}
 }
 

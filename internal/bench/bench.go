@@ -17,6 +17,7 @@
 //	E11 follow-up  full-grammar SketchRefine: AVG/MIN/MAX + disjunctions vs exact
 //	E12 follow-up  incremental tree maintenance: full rebuild vs ApplyDelta per write batch
 //	E13 follow-up  cost-based planner: planner-chosen strategy/knobs vs hand-set defaults
+//	E14 follow-up  query lifecycle under load: QPS and p50/p95/p99 behind admission control
 //
 // Each Run* prints an aligned table to cfg.Out; EXPERIMENTS.md records
 // the measured shapes against the paper's claims.
@@ -89,7 +90,7 @@ func RunAll(cfg Config) error {
 		{"F1", RunF1}, {"E1", RunE1}, {"E2", RunE2}, {"E3", RunE3},
 		{"E4", RunE4}, {"E5", RunE5}, {"E6", RunE6}, {"E7", RunE7},
 		{"E8", RunE8}, {"E9", RunE9}, {"E10", RunE10}, {"E11", RunE11},
-		{"E12", RunE12}, {"E13", RunE13},
+		{"E12", RunE12}, {"E13", RunE13}, {"E14", RunE14},
 	}
 	for _, s := range steps {
 		if err := s.fn(cfg); err != nil {
@@ -133,8 +134,10 @@ func Run(id string, cfg Config) error {
 		return RunE12(cfg)
 	case "e13", "E13":
 		return RunE13(cfg)
+	case "e14", "E14":
+		return RunE14(cfg)
 	}
-	return fmt.Errorf("bench: unknown experiment %q (f1, e1..e13, all)", id)
+	return fmt.Errorf("bench: unknown experiment %q (f1, e1..e14, all)", id)
 }
 
 // evalTimed runs a query under options and reports elapsed wall time.

@@ -25,6 +25,7 @@ func TestExperimentsQuick(t *testing.T) {
 		{"e10", []string{"parallel", "speedup-vs-serial", "disk-warm cold start", "loaded"}},
 		{"e12", []string{"incremental tree maintenance", "rebuild", "patch", "speedup"}},
 		{"e13", []string{"cost-based planner", "hand-set", "planner", "speedup-vs-hand-set"}},
+		{"e14", []string{"query lifecycle under load", "clients", "shed", "p99", "sheds instead of queueing"}},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"strings"
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/expr"
+	"repro/internal/lifecycle"
 	"repro/internal/minidb"
 	"repro/internal/paql"
 	"repro/internal/plan"
@@ -108,8 +110,16 @@ type Options struct {
 	Catalog *catalog.Catalog
 	// Limit overrides the query's LIMIT (number of packages).
 	Limit int
-	// Timeout bounds the whole evaluation.
+	// Timeout bounds the whole evaluation. Under RunContext it is sugar
+	// for a derived context deadline (plus a short grace) and doubles as
+	// the soft budget the strategies check so best-effort results beat
+	// hard cancellation.
 	Timeout time.Duration
+	// MemoryBudget, when positive, caps the planner-predicted peak
+	// working set (plan.CostModel.MemoryEstimate) a query may allocate:
+	// evaluation refuses with lifecycle.ErrBudgetExceeded before
+	// dispatching a strategy whose estimate exceeds it.
+	MemoryBudget int64
 	// Seed drives the randomized strategies.
 	Seed int64
 	// Restarts and MaxK tune local search.
@@ -238,7 +248,9 @@ type Stats struct {
 	SketchTreeLoaded   bool         // partition tree loaded from the on-disk store
 	SketchTreePatched  bool         // stale partition tree patched in place (incremental maintenance)
 	SketchDeltaApplied int          // tuples the tree patch inserted plus deleted
+	SketchCoalesced    bool         // tree acquisition joined another query's in-flight build
 	SketchWorkers      int          // workers the sketch-refine parallel phases used
+	MemoryEstimate     int64        // planner-predicted peak working set, bytes
 	Elapsed            time.Duration
 	Notes              []string // strategy decisions, fallbacks, caveats
 	// Plan is the cost-based planner's decision trail for this
@@ -278,15 +290,27 @@ type Prepared struct {
 
 // Prepare parses, folds sub-queries, analyzes, and computes candidates.
 func Prepare(db *minidb.DB, queryText string) (*Prepared, error) {
+	return PrepareContext(context.Background(), db, queryText)
+}
+
+// PrepareContext is Prepare under a context: the candidate scan — the
+// only phase linear in the table — checks for cancellation periodically
+// and returns lifecycle.ErrCanceled instead of finishing the scan.
+func PrepareContext(ctx context.Context, db *minidb.DB, queryText string) (*Prepared, error) {
 	q, err := paql.Parse(queryText)
 	if err != nil {
 		return nil, err
 	}
-	return PrepareQuery(db, q)
+	return PrepareQueryContext(ctx, db, q)
 }
 
 // PrepareQuery is Prepare for an already-parsed query.
 func PrepareQuery(db *minidb.DB, q *paql.Query) (*Prepared, error) {
+	return PrepareQueryContext(context.Background(), db, q)
+}
+
+// PrepareQueryContext is PrepareContext for an already-parsed query.
+func PrepareQueryContext(ctx context.Context, db *minidb.DB, q *paql.Query) (*Prepared, error) {
 	table, ok := db.Table(q.Table)
 	if !ok {
 		return nil, fmt.Errorf("engine: relation %q does not exist", q.Table)
@@ -302,6 +326,11 @@ func PrepareQuery(db *minidb.DB, q *paql.Query) (*Prepared, error) {
 	var rows []schema.Row
 	var ids []int
 	for rid, row := range table.Rows {
+		if rid&8191 == 0 {
+			if err := lifecycle.ContextErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		if q.Where != nil {
 			ok, err := expr.EvalBool(q.Where, row)
 			if err != nil {
@@ -361,13 +390,24 @@ func foldSubqueries(db *minidb.DB, q *paql.Query) error {
 	return firstErr
 }
 
-// Evaluate runs a PaQL query end to end.
+// Evaluate runs a PaQL query end to end (legacy contract; see Run).
 func Evaluate(db *minidb.DB, queryText string, opts Options) (*Result, error) {
 	prep, err := Prepare(db, queryText)
 	if err != nil {
 		return nil, err
 	}
 	return prep.Run(opts)
+}
+
+// EvaluateContext runs a PaQL query end to end under a context, with
+// RunContext's typed-error contract (lifecycle.ErrInfeasible,
+// ErrCanceled, ErrBudgetExceeded — all errors.Is-able).
+func EvaluateContext(ctx context.Context, db *minidb.DB, queryText string, opts Options) (*Result, error) {
+	prep, err := PrepareContext(ctx, db, queryText)
+	if err != nil {
+		return nil, err
+	}
+	return prep.RunContext(ctx, opts)
 }
 
 // limit resolves the number of packages to return.

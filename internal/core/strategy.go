@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/lifecycle"
 	"repro/internal/milp"
 	"repro/internal/plan"
 	"repro/internal/prune"
@@ -15,14 +18,85 @@ import (
 	"repro/internal/translate"
 )
 
+// timeoutGrace is how far the hard context deadline RunContext derives
+// from Options.Timeout trails the soft budget: the solvers' soft
+// deadline checks fire first and surrender best-effort results, and the
+// hard cancellation is the backstop for any path that ignores them.
+const timeoutGrace = 250 * time.Millisecond
+
 // Run evaluates the prepared query under the given options. Strategy
 // and sketch-knob defaults come from the cost-based planner
 // (internal/plan); explicitly-set options always win. The thresholds
 // that used to live here as autoThreshold (22) and sketchAutoThreshold
 // (4096) are plan.DefaultCostModel's ExactEnumMax and SketchThreshold
 // now.
+//
+// Run is the legacy surface: it evaluates under context.Background()
+// and keeps the original no-typed-errors contract — a provably
+// infeasible query returns an empty Result with explanatory notes and a
+// nil error. New callers should use RunContext, which distinguishes
+// infeasible, canceled, and over-budget outcomes as errors.Is-able
+// lifecycle errors.
 func (p *Prepared) Run(opts Options) (*Result, error) {
+	res, err := p.run(context.Background(), opts)
+	if err != nil && errors.Is(err, lifecycle.ErrInfeasible) {
+		// Legacy contract: infeasibility is an answer, not an error.
+		return res, nil
+	}
+	return res, err
+}
+
+// RunContext evaluates the prepared query under a context. The context
+// is checked cooperatively throughout — candidate scans, enumeration,
+// every MILP branch-and-bound node and simplex iteration, partition
+// builds, sketch descents, and refine waves — so cancellation returns
+// promptly even mid-solve over millions of candidates, with partial
+// work discarded and shared tree caches left consistent.
+//
+// Outcomes map onto the lifecycle error taxonomy:
+//
+//   - lifecycle.ErrInfeasible: the query provably has no package
+//     (contradictory bounds, or an exact strategy completed empty). The
+//     Result still carries the plan and stats. A heuristic strategy
+//     finding nothing is NOT infeasible: that returns an empty Result
+//     with a note and a nil error.
+//   - lifecycle.ErrCanceled: the context was canceled. An expired
+//     deadline that still produced packages instead returns them with a
+//     note — Options.Timeout and a context deadline both act as soft
+//     budgets first (best incumbent wins over an error), with hard
+//     cancellation as the backstop.
+//   - lifecycle.ErrBudgetExceeded: the planner's predicted working set
+//     exceeds Options.MemoryBudget; nothing was executed.
+//
+// Options.Timeout is sugar for a derived context deadline: RunContext
+// bounds the context at Timeout plus a short grace and passes Timeout
+// down as the soft budget; symmetrically, a context deadline with no
+// Timeout set becomes the soft budget.
+func (p *Prepared) RunContext(ctx context.Context, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d, ok := ctx.Deadline(); ok {
+		if soft := time.Until(d) - timeoutGrace; soft > 0 && (opts.Timeout <= 0 || soft < opts.Timeout) {
+			opts.Timeout = soft
+		}
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout+timeoutGrace)
+		defer cancel()
+	}
+	return p.run(ctx, opts)
+}
+
+// run is the shared evaluation body behind Run and RunContext. It
+// returns typed lifecycle errors; the legacy wrapper downgrades the
+// ones its contract predates.
+func (p *Prepared) run(ctx context.Context, opts Options) (*Result, error) {
 	start := time.Now()
+	if err := lifecycle.ContextErr(ctx); err != nil {
+		return nil, err
+	}
 	inst := p.Instance
 	res := &Result{Query: p.Query}
 	res.Stats.Candidates = len(inst.Rows)
@@ -50,6 +124,7 @@ func (p *Prepared) Run(opts Options) (*Result, error) {
 	// exits early, so EXPLAIN always has something to show.
 	qplan := p.Plan(opts)
 	res.Stats.Plan = qplan
+	res.Stats.MemoryEstimate = qplan.MemoryBytes
 
 	// Provably-empty space: exact empty answer.
 	if inst.Bounds.IsInfeasible() {
@@ -57,7 +132,7 @@ func (p *Prepared) Run(opts Options) (*Result, error) {
 		res.Stats.Exact = true
 		res.Stats.Notes = append(res.Stats.Notes, "cardinality bounds are contradictory; no package can satisfy the query")
 		res.Stats.Elapsed = time.Since(start)
-		return res, nil
+		return res, lifecycle.Infeasible("cardinality bounds are contradictory")
 	}
 
 	strat, err := applyPlan(&opts, qplan)
@@ -101,23 +176,50 @@ func (p *Prepared) Run(opts Options) (*Result, error) {
 		return res, nil
 	}
 
+	// Admission by memory budget: refuse before allocating anything when
+	// the planner's working-set prediction exceeds the per-query budget.
+	if opts.MemoryBudget > 0 && qplan.MemoryBytes > opts.MemoryBudget {
+		res.Stats.Elapsed = time.Since(start)
+		return res, lifecycle.BudgetExceeded(qplan.MemoryBytes, opts.MemoryBudget)
+	}
+
 	var mults [][]int
 	switch strat {
 	case BruteForceStrategy:
-		mults, err = p.runEnum(res, opts, fetch, true)
+		mults, err = p.runEnum(ctx, res, opts, fetch, true)
 	case PrunedEnum:
-		mults, err = p.runEnum(res, opts, fetch, false)
+		mults, err = p.runEnum(ctx, res, opts, fetch, false)
 	case LocalSearchStrategy:
-		mults, err = p.runLocal(res, opts, fetch)
+		mults, err = p.runLocal(ctx, res, opts, fetch)
 	case Solver:
-		mults, err = p.runSolver(res, opts, fetch)
+		mults, err = p.runSolver(ctx, res, opts, fetch)
 	case SketchRefineStrategy:
-		mults, err = p.runSketch(res, opts, fetch)
+		mults, err = p.runSketch(ctx, res, opts, fetch)
 	default:
 		err = fmt.Errorf("engine: unknown strategy %v", strat)
 	}
 	if err != nil {
 		return nil, err
+	}
+
+	// Cancellation beats partial answers for an explicitly canceled
+	// context: the caller walked away, so partial work is discarded. A
+	// deadline is softer — packages computed before it fired are still
+	// the answer (see RunContext); only an empty-handed deadline is an
+	// error.
+	if cerr := ctx.Err(); cerr != nil {
+		if errors.Is(cerr, context.Canceled) || len(mults) == 0 {
+			return nil, lifecycle.Canceled(cerr)
+		}
+		res.Stats.Notes = append(res.Stats.Notes, "deadline exceeded; best-effort packages returned")
+	}
+
+	// Provable infeasibility: an exact strategy ran to completion and
+	// found nothing. Heuristic strategies (sketch, local search) leave
+	// Exact false, so their empty answers stay answers, not verdicts.
+	if len(mults) == 0 && res.Stats.Exact {
+		res.Stats.Elapsed = time.Since(start)
+		return res, lifecycle.Infeasible(fmt.Sprintf("proved by %s", strat))
 	}
 
 	if opts.Diverse && len(mults) > limit {
@@ -138,8 +240,9 @@ func (p *Prepared) Run(opts Options) (*Result, error) {
 	return res, nil
 }
 
-func (p *Prepared) runEnum(res *Result, opts Options, fetch int, brute bool) ([][]int, error) {
+func (p *Prepared) runEnum(ctx context.Context, res *Result, opts Options, fetch int, brute bool) ([][]int, error) {
 	sopt := search.Options{
+		Ctx:            ctx,
 		Limit:          fetch,
 		Timeout:        opts.Timeout,
 		Seed:           opts.Seed,
@@ -168,8 +271,9 @@ func (p *Prepared) runEnum(res *Result, opts Options, fetch int, brute bool) ([]
 	return mults, nil
 }
 
-func (p *Prepared) runLocal(res *Result, opts Options, fetch int) ([][]int, error) {
+func (p *Prepared) runLocal(ctx context.Context, res *Result, opts Options, fetch int) ([][]int, error) {
 	sres, err := search.LocalSearch(p.Instance, p.DB, search.Options{
+		Ctx:      ctx,
 		Limit:    fetch,
 		Timeout:  opts.Timeout,
 		Seed:     opts.Seed,
@@ -192,7 +296,7 @@ func (p *Prepared) runLocal(res *Result, opts Options, fetch int) ([][]int, erro
 	return mults, nil
 }
 
-func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, error) {
+func (p *Prepared) runSketch(ctx context.Context, res *Result, opts Options, fetch int) ([][]int, error) {
 	start := time.Now()
 	cache := opts.SketchCache
 	if cache == nil {
@@ -235,6 +339,7 @@ func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, err
 		return left, left > 0
 	}
 	sres, err := sketch.Solve(p.Instance, sketch.Options{
+		Ctx:              ctx,
 		MaxPartitionSize: opts.SketchPartitionSize,
 		NumPartitions:    opts.SketchPartitions,
 		Depth:            opts.SketchDepth,
@@ -261,6 +366,7 @@ func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, err
 	res.Stats.SketchTreeLoaded = sres.TreeLoaded
 	res.Stats.SketchTreePatched = sres.TreePatched
 	res.Stats.SketchDeltaApplied = sres.DeltaApplied
+	res.Stats.SketchCoalesced = sres.Coalesced
 	res.Stats.SketchWorkers = sres.Workers
 	res.Stats.Nodes += sres.Nodes
 	res.Stats.LPIters += sres.LPIters
@@ -291,6 +397,7 @@ func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, err
 					break
 				}
 				alt, err := sketch.Solve(p.Instance, sketch.Options{
+					Ctx:              ctx,
 					MaxPartitionSize: opts.SketchPartitionSize,
 					NumPartitions:    opts.SketchPartitions,
 					Depth:            opts.SketchDepth,
@@ -342,6 +449,7 @@ func (p *Prepared) runSketch(res *Result, opts Options, fetch int) ([][]int, err
 				// from the shared LRU and litter the store with files
 				// no later run asks for.
 				alt, err := sketch.Solve(p.Instance, sketch.Options{
+					Ctx:              ctx,
 					MaxPartitionSize: baseTau + int(attempt),
 					Depth:            opts.SketchDepth,
 					Seed:             opts.Seed + attempt,
@@ -437,7 +545,7 @@ func cacheNote(hit, loaded, patched bool) string {
 	return ""
 }
 
-func (p *Prepared) runSolver(res *Result, opts Options, fetch int) ([][]int, error) {
+func (p *Prepared) runSolver(ctx context.Context, res *Result, opts Options, fetch int) ([][]int, error) {
 	model, err := translate.Translate(p.Analysis, p.Instance.Rows, p.Instance.IDs)
 	if err != nil {
 		return nil, err
@@ -447,13 +555,13 @@ func (p *Prepared) runSolver(res *Result, opts Options, fetch int) ([][]int, err
 			return nil, err
 		}
 	}
-	mopts := milp.Options{MaxNodes: opts.SolverNodes, TimeLimit: opts.Timeout}
+	mopts := milp.Options{MaxNodes: opts.SolverNodes, TimeLimit: opts.Timeout, Ctx: ctx}
 	// Hybrid warm start: hand the solver a local-search incumbent so
 	// bound pruning bites immediately. Only valid when the model has no
 	// indicator variables (their values are not part of a package).
 	if !opts.NoHybridSeed && model.NumIndicators() == 0 && p.Query.Objective != nil && p.Instance.MaxMult > 0 {
 		ls, err := search.LocalSearch(p.Instance, p.DB, search.Options{
-			Limit: 1, Seed: opts.Seed, Restarts: 2, MaxK: 1,
+			Ctx: ctx, Limit: 1, Seed: opts.Seed, Restarts: 2, MaxK: 1,
 			Timeout: 200 * time.Millisecond, Require: opts.Require,
 		})
 		if err == nil && len(ls.Packages) > 0 {

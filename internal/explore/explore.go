@@ -8,11 +8,14 @@
 package explore
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/lifecycle"
 	"repro/internal/minidb"
 	"repro/internal/paql"
 	"repro/internal/value"
@@ -34,7 +37,13 @@ func (s *Session) Stats() *core.Stats { return s.stats }
 
 // NewSession prepares a query for exploration.
 func NewSession(db *minidb.DB, queryText string, opts core.Options) (*Session, error) {
-	prep, err := core.Prepare(db, queryText)
+	return NewSessionContext(context.Background(), db, queryText, opts)
+}
+
+// NewSessionContext is NewSession under a context: the candidate scan
+// checks for cancellation (see core.PrepareContext).
+func NewSessionContext(ctx context.Context, db *minidb.DB, queryText string, opts core.Options) (*Session, error) {
+	prep, err := core.PrepareContext(ctx, db, queryText)
 	if err != nil {
 		return nil, err
 	}
@@ -64,15 +73,33 @@ func (s *Session) Pinned() []int {
 }
 
 // Refresh evaluates the query (respecting pins) and makes the best
-// package current.
+// package current. Legacy surface: provable infeasibility comes back as
+// the classic untyped message; RefreshContext keeps the typed error.
 func (s *Session) Refresh() (*core.Package, error) {
+	p, err := s.RefreshContext(context.Background())
+	if err != nil && errors.Is(err, lifecycle.ErrInfeasible) {
+		return nil, fmt.Errorf("explore: no package satisfies the query%s",
+			pinSuffix(len(s.pinned)))
+	}
+	return p, err
+}
+
+// RefreshContext is Refresh under a context, with the RunContext error
+// taxonomy: lifecycle.ErrInfeasible when the query (with the current
+// pins) provably has no package, lifecycle.ErrCanceled /
+// ErrBudgetExceeded on cancellation or budget refusal. A heuristic
+// strategy finding nothing keeps the classic untyped "no package
+// satisfies" error.
+func (s *Session) RefreshContext(ctx context.Context) (*core.Package, error) {
 	opts := s.opts
 	opts.Require = s.Pinned()
-	res, err := s.prep.Run(opts)
+	res, err := s.prep.RunContext(ctx, opts)
+	if res != nil {
+		s.stats = &res.Stats
+	}
 	if err != nil {
 		return nil, err
 	}
-	s.stats = &res.Stats
 	if len(res.Packages) == 0 {
 		return nil, fmt.Errorf("explore: no package satisfies the query%s",
 			pinSuffix(len(opts.Require)))
@@ -114,16 +141,31 @@ func (s *Session) Unpin(candidateIdx int) { delete(s.pinned, candidateIdx) }
 
 // Replace finds a package that keeps every pinned tuple but differs
 // from all packages shown so far (§3.3's "request a new sample that
-// replaces the unselected tuples").
+// replaces the unselected tuples"). Legacy surface: provable
+// infeasibility comes back as the classic untyped message;
+// ReplaceContext keeps the typed error.
 func (s *Session) Replace() (*core.Package, error) {
+	p, err := s.ReplaceContext(context.Background())
+	if err != nil && errors.Is(err, lifecycle.ErrInfeasible) {
+		return nil, fmt.Errorf("explore: no further distinct package exists%s",
+			pinSuffix(len(s.pinned)))
+	}
+	return p, err
+}
+
+// ReplaceContext is Replace under a context, with the RunContext error
+// taxonomy (see RefreshContext).
+func (s *Session) ReplaceContext(ctx context.Context) (*core.Package, error) {
 	opts := s.opts
 	opts.Require = s.Pinned()
 	opts.Limit = len(s.history) + 3 // enough distinct packages to skip history
-	res, err := s.prep.Run(opts)
+	res, err := s.prep.RunContext(ctx, opts)
+	if res != nil {
+		s.stats = &res.Stats
+	}
 	if err != nil {
 		return nil, err
 	}
-	s.stats = &res.Stats
 	seen := map[string]bool{}
 	for _, h := range s.history {
 		seen[core.MultKey(h.Mult)] = true

@@ -15,6 +15,12 @@ type Options struct {
 	// MaxIters bounds simplex iterations per phase; 0 selects an
 	// automatic limit based on problem size.
 	MaxIters int
+	// Cancel, when non-nil, is polled once per simplex iteration; a
+	// true return stops the solve with StatusIterLimit. Each iteration
+	// costs O(m·n) arithmetic, so the poll is noise — this is the
+	// cooperative-cancellation hook the branch-and-bound layer uses to
+	// abandon node relaxations promptly.
+	Cancel func() bool
 }
 
 // Solve optimizes the problem with the bounded-variable two-phase
@@ -34,7 +40,7 @@ func Solve(p *Problem, opts ...Options) *Solution {
 	sol := &Solution{}
 	// Phase 1: minimize the sum of artificial variables.
 	if t.needPhase1 {
-		status, iters := t.iterate(t.phase1Costs(), maxIters)
+		status, iters := t.iterate(t.phase1Costs(), maxIters, opt.Cancel)
 		sol.Iterations += iters
 		if status == StatusIterLimit {
 			sol.Status = StatusIterLimit
@@ -47,7 +53,7 @@ func Solve(p *Problem, opts ...Options) *Solution {
 		t.fixArtificials()
 	}
 	// Phase 2: the real objective.
-	status, iters := t.iterate(t.costs, maxIters)
+	status, iters := t.iterate(t.costs, maxIters, opt.Cancel)
 	sol.Iterations += iters
 	switch status {
 	case StatusIterLimit, StatusUnbounded:
@@ -254,14 +260,18 @@ func (t *tableau) reducedCosts(c []float64) []float64 {
 	return d
 }
 
-// iterate runs the simplex with cost vector c until optimal, unbounded
-// or the iteration limit. It uses Dantzig pricing with a Bland fallback
-// after a stretch of degenerate pivots to guarantee termination.
-func (t *tableau) iterate(c []float64, maxIters int) (Status, int) {
+// iterate runs the simplex with cost vector c until optimal, unbounded,
+// the iteration limit, or cancellation. It uses Dantzig pricing with a
+// Bland fallback after a stretch of degenerate pivots to guarantee
+// termination.
+func (t *tableau) iterate(c []float64, maxIters int, cancel func() bool) (Status, int) {
 	t.recompute()
 	degenerate := 0
 	const blandAfter = 200
 	for iter := 0; iter < maxIters; iter++ {
+		if cancel != nil && cancel() {
+			return StatusIterLimit, iter
+		}
 		d := t.reducedCosts(c)
 		// entering variable
 		enter := -1

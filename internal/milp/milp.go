@@ -9,6 +9,7 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"time"
 
@@ -70,6 +71,12 @@ type Options struct {
 	// integer-feasible point (e.g. from local search), enabling pruning
 	// from the first node.
 	InitialIncumbent []float64
+	// Ctx, when non-nil, cancels the search cooperatively: it is
+	// checked before every branch-and-bound node and polled inside each
+	// node's LP relaxation, so a cancelled solve returns within one
+	// simplex iteration. The solution's Canceled flag records that the
+	// stop came from the context rather than a node or time limit.
+	Ctx context.Context
 }
 
 // Solution is the result of a MILP solve.
@@ -82,7 +89,8 @@ type Solution struct {
 	LPIters    int
 	WallTime   time.Duration
 	GapClosed  bool
-	Incumbents int // number of improving incumbents found
+	Incumbents int  // number of improving incumbents found
+	Canceled   bool // the search stopped because Options.Ctx was done
 }
 
 type node struct {
@@ -127,6 +135,20 @@ func Solve(p *Problem, opts ...Options) *Solution {
 	start := time.Now()
 	maximize := p.LP.Sense() == lp.Maximize
 	sol := &Solution{Status: StatusLimit}
+	// Non-blocking context poll, shared with the per-iteration hook of
+	// every node's LP relaxation.
+	var cancelPoll func() bool
+	if opt.Ctx != nil {
+		ctx := opt.Ctx
+		cancelPoll = func() bool {
+			select {
+			case <-ctx.Done():
+				return true
+			default:
+				return false
+			}
+		}
+	}
 	better := func(a, b float64) bool {
 		if maximize {
 			return a > b+1e-9
@@ -177,6 +199,10 @@ func Solve(p *Problem, opts ...Options) *Solution {
 	firstNode := true
 
 	for q.Len() > 0 {
+		if cancelPoll != nil && cancelPoll() {
+			sol.Canceled = true
+			break
+		}
 		if sol.Nodes >= opt.MaxNodes {
 			break
 		}
@@ -196,7 +222,7 @@ func Solve(p *Problem, opts ...Options) *Solution {
 			}
 		}
 		{
-			res := lp.Solve(work)
+			res := lp.Solve(work, lp.Options{Cancel: cancelPoll})
 			sol.LPIters += res.Iterations
 			switch res.Status {
 			case lp.StatusInfeasible:
@@ -249,6 +275,14 @@ func Solve(p *Problem, opts ...Options) *Solution {
 		bestBound = q.items[0].bound
 	}
 	switch {
+	// A cancelled search proves nothing: a node may have been dropped
+	// by the LP's cancel hook, so never claim optimal or infeasible.
+	case sol.Canceled && haveIncumbent:
+		sol.Status = StatusFeasible
+		sol.Bound = bestBound
+	case sol.Canceled:
+		sol.Status = StatusLimit
+		sol.Bound = bestBound
 	case q.Len() == 0 && sol.Nodes < opt.MaxNodes && haveIncumbent:
 		sol.Status = StatusOptimal
 		sol.Bound = incObj

@@ -228,6 +228,10 @@ type Plan struct {
 	Incremental bool `json:"incremental"`
 	// TreeSource predicts where the partition tree will come from.
 	TreeSource string `json:"treeSource,omitempty"`
+	// MemoryBytes is the predicted peak working set of the chosen
+	// strategy (CostModel.MemoryEstimate); engines gate admission on it
+	// against a per-query memory budget.
+	MemoryBytes int64 `json:"memoryBytes,omitempty"`
 	// Decisions is the ordered decision trail.
 	Decisions []Decision `json:"decisions"`
 }
@@ -319,6 +323,42 @@ func (c CostModel) SketchCost(n, tau, branches int, warm bool) float64 {
 		cost += float64(n) * (math.Log2(leaves) + 1)
 	}
 	return cost
+}
+
+// MemoryEstimate predicts the peak working set a strategy allocates on
+// top of the candidate rows, in bytes. The formulas are deliberately
+// rough — order-of-magnitude allocation models, not measurements — but
+// they scale with the same variables the real allocations do, which is
+// what admission control needs:
+//
+//   - solver: one dense simplex tableau of (atoms+2)·n float64 cells
+//     plus branch-and-bound node state (~48 bytes/candidate of bound
+//     vectors and incumbents);
+//   - sketch-refine: the partition tree stores every tuple index once
+//     per level (8·n·depth) plus representatives/envelopes (~16n), and
+//     each residual sub-MILP is bounded by the leaf size (negligible
+//     next to the tree at scale);
+//   - enumeration and local search: multiplicity vectors and bookkeeping
+//     linear in n (~32 bytes/candidate).
+//
+// Engines compare the estimate against Options.MemoryBudget before
+// dispatch and refuse with a typed budget error instead of thrashing.
+func (c CostModel) MemoryEstimate(strategy string, n, tau, depth, atoms int) int64 {
+	if n < 1 {
+		return 0
+	}
+	f := int64(n)
+	switch strategy {
+	case StrategySolver:
+		return f*int64(atoms+2)*16 + f*48
+	case StrategySketch:
+		if depth < 1 {
+			depth = 1
+		}
+		return f*int64(depth)*8 + f*16
+	default: // pruned-enum, brute-force, local-search
+		return f * 32
+	}
 }
 
 // EnumCost estimates exact branch-and-bound enumeration: exponential in

@@ -290,8 +290,10 @@ atoms: linear; 2 sum/count; 1 branch
 │      100000 candidates ≥ 2048: fan out across 8 workers
 ├─ maintenance = patch
 │      delta 1.0% of the table ≤ 25% budget (2.50 writes/s): patch stale trees in place
-└─ tree-source = build
-       no cached, persisted, or patchable tree: full offline build
+├─ tree-source = build
+│      no cached, persisted, or patchable tree: full offline build
+└─ memory = 3.1 MB
+       predicted peak working set for sketch-refine over 100000 candidates (2 atoms)
 `
 	if got != want {
 		t.Fatalf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
@@ -372,5 +374,56 @@ func TestCostModelMonotone(t *testing.T) {
 	}
 	if cm.ExactBudget() != cm.SolverCost(cm.SketchThreshold) {
 		t.Fatal("budget must derive from the sketch threshold")
+	}
+}
+
+// TestMemoryEstimate pins the admission-control memory model: every
+// plan carries a strategy-matched estimate, and the formulas scale with
+// the variables the real allocations depend on.
+func TestMemoryEstimate(t *testing.T) {
+	cm := DefaultCostModel()
+	if got := cm.MemoryEstimate(StrategySolver, 1000, 0, 0, 3); got != 1000*5*16+1000*48 {
+		t.Fatalf("solver estimate = %d", got)
+	}
+	if got := cm.MemoryEstimate(StrategySketch, 1000, 64, 3, 3); got != 1000*3*8+1000*16 {
+		t.Fatalf("sketch estimate = %d", got)
+	}
+	// depth 0 is treated as a flat (depth-1) tree.
+	if cm.MemoryEstimate(StrategySketch, 1000, 64, 0, 3) != cm.MemoryEstimate(StrategySketch, 1000, 64, 1, 3) {
+		t.Fatal("depth 0 and depth 1 should match")
+	}
+	if got := cm.MemoryEstimate(StrategyLocalSearch, 1000, 0, 0, 3); got != 32000 {
+		t.Fatalf("linear-strategy estimate = %d", got)
+	}
+	if cm.MemoryEstimate(StrategySolver, 0, 0, 0, 3) != 0 {
+		t.Fatal("no candidates, no memory")
+	}
+
+	// Every plan, sketch or solver, records the decision and the field.
+	pl := NewPlanner()
+	for _, n := range []int{100, 100_000} {
+		p := pl.Plan(baseInput(n))
+		d := p.Decision("memory")
+		if d == nil || p.MemoryBytes <= 0 {
+			t.Fatalf("n=%d: memory decision missing (plan %+v)", n, p)
+		}
+		if d != &p.Decisions[len(p.Decisions)-1] {
+			t.Fatalf("n=%d: memory should order last in the trail", n)
+		}
+	}
+}
+
+// TestFormatBytes covers the unit breakpoints the trail renders.
+func TestFormatBytesUnits(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512 B",
+		2 << 10: "2.0 KB",
+		3 << 20: "3.0 MB",
+		5 << 30: "5.0 GB",
+	}
+	for in, want := range cases {
+		if got := formatBytes(in); got != want {
+			t.Fatalf("formatBytes(%d) = %q, want %q", in, got, want)
+		}
 	}
 }

@@ -62,17 +62,52 @@ func (pl *Planner) Plan(in Input) *Plan {
 		p.Decisions = kept
 	}
 
+	// Memory is estimated for whatever strategy won (forced ones too):
+	// engines gate admission on it, so every plan must carry it.
+	pl.pickMemory(p, in, strat, tau, depth)
+
 	// The strategy decision reads best first; knob decisions follow in
 	// pick order.
 	orderDecisions(p)
 	return p
 }
 
+// pickMemory records the chosen strategy's predicted peak working set.
+// It runs after the solver-plan decision filter so the estimate always
+// survives into the trail — admission control reads it off the plan.
+func (pl *Planner) pickMemory(p *Plan, in Input, strat string, tau, depth int) {
+	atoms := in.Mix.SumCount + in.Mix.Avg + in.Mix.MinMax
+	est := pl.Cost.MemoryEstimate(strat, in.N, tau, depth, atoms)
+	p.MemoryBytes = est
+	// Cost stays zero: Decision.Cost is abstract work units and the
+	// trail would render bytes as a solver-cost lookalike.
+	p.Decisions = append(p.Decisions, Decision{
+		Name:  "memory",
+		Value: formatBytes(est),
+		Reason: fmt.Sprintf("predicted peak working set for %s over %d candidates (%d atoms)",
+			strat, in.N, atoms),
+	})
+}
+
+// formatBytes renders a byte count with a binary-ish unit for the
+// decision trail (the same rendering lifecycle's budget errors use).
+func formatBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}
+
 // orderDecisions sorts the trail into display order.
 func orderDecisions(p *Plan) {
 	rank := map[string]int{
 		"strategy": 0, "tau": 1, "depth": 2, "parallelism": 3,
-		"maintenance": 4, "tree-source": 5,
+		"maintenance": 4, "tree-source": 5, "memory": 6,
 	}
 	out := make([]Decision, 0, len(p.Decisions))
 	for r := 0; r < len(rank); r++ {

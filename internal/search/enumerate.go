@@ -37,7 +37,7 @@ func BruteForce(inst *Instance, opt Options) (*Result, error) {
 			res.Complete = false
 			return nil
 		}
-		if res.Examined%4096 == 0 && expired(deadline) {
+		if res.Examined%4096 == 0 && opt.stop(deadline) {
 			res.Complete = false
 			return nil
 		}
@@ -195,7 +195,7 @@ func PrunedEnumerate(inst *Instance, opt Options) (*Result, error) {
 			res.Complete = false
 			return nil
 		}
-		if res.Examined%4096 == 0 && expired(deadline) {
+		if res.Examined%4096 == 0 && opt.stop(deadline) {
 			res.Complete = false
 			return nil
 		}

@@ -46,7 +46,7 @@ func LocalSearch(inst *Instance, db *minidb.DB, opt Options) (*Result, error) {
 	}
 	rng := rand.New(rand.NewSource(opt.Seed + 1))
 
-	ls := &localState{inst: inst, db: db, res: res,
+	ls := &localState{inst: inst, db: db, res: res, opt: opt,
 		candTable: fmt.Sprintf("pb_cand_%d", tableSeq.Add(1)),
 		required:  opt.requireSet(len(inst.Rows)),
 	}
@@ -56,7 +56,7 @@ func LocalSearch(inst *Instance, db *minidb.DB, opt Options) (*Result, error) {
 	defer func() { _ = db.DropTable(ls.candTable) }()
 
 	for r := 0; r < restarts; r++ {
-		if expired(deadline) {
+		if opt.stop(deadline) {
 			break
 		}
 		res.Restarts++
@@ -89,6 +89,7 @@ type localState struct {
 	inst      *Instance
 	db        *minidb.DB
 	res       *Result
+	opt       Options
 	candTable string
 	pkgSeq    int
 	required  map[int]bool // pinned candidates (adaptive exploration)
@@ -256,7 +257,7 @@ func (ls *localState) climb(cur Pkg, maxK, limit int, deadline time.Time) error 
 	improvesLeft := 12 + cur.Size()*4
 
 	for iter := 0; iter < maxIters; iter++ {
-		if expired(deadline) {
+		if ls.opt.stop(deadline) {
 			return nil
 		}
 		sums := ls.atomSums(mult)

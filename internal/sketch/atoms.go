@@ -1,7 +1,10 @@
 package sketch
 
 import (
+	"context"
+
 	"repro/internal/expr"
+	"repro/internal/lifecycle"
 	"repro/internal/lp"
 	"repro/internal/schema"
 	"repro/internal/search"
@@ -31,10 +34,16 @@ type branchAtoms struct {
 }
 
 // newBranchAtoms weighs a compiled branch over the instance's
-// candidates.
-func newBranchAtoms(inst *search.Instance, br translate.SketchBranch) (*branchAtoms, error) {
+// candidates. Each atom's weighing is linear in the candidates, so the
+// context is checked between atoms — at 1M rows a single weigh runs
+// low hundreds of milliseconds, the longest remaining stretch a
+// canceled solve can sit out here.
+func newBranchAtoms(ctx context.Context, inst *search.Instance, br translate.SketchBranch) (*branchAtoms, error) {
 	ba := &branchAtoms{branch: br, sels: map[int]*translate.Selector{}}
 	for i, at := range br.Atoms {
+		if err := lifecycle.ContextErr(ctx); err != nil {
+			return nil, err
+		}
 		if at.IsSelector() {
 			sel, err := at.Selector(inst.Rows)
 			if err != nil {

@@ -2,9 +2,11 @@ package sketch
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 
+	"repro/internal/lifecycle"
 	"repro/internal/schema"
 )
 
@@ -68,11 +70,26 @@ func CombineRowHashes(hs []uint64) uint64 {
 // on the warm path avoid even this by memoizing RowHash per row and
 // recombining (see core's fingerprint memo).
 func Fingerprint(rows []schema.Row) uint64 {
+	fp, _ := fingerprintCtx(nil, rows)
+	return fp
+}
+
+// fingerprintCtx is Fingerprint with a cooperative cancellation check
+// every few thousand rows: without the memo this hash runs on every
+// solve and is the longest uninterruptible stretch at 1M candidates
+// (hundreds of milliseconds), so a canceled query must be able to bail
+// out of it. A nil context never errors.
+func fingerprintCtx(ctx context.Context, rows []schema.Row) (uint64, error) {
 	hs := make([]uint64, len(rows))
 	for i, row := range rows {
+		if i&8191 == 0 && ctx != nil {
+			if err := lifecycle.ContextErr(ctx); err != nil {
+				return 0, err
+			}
+		}
 		hs[i] = RowHash(row)
 	}
-	return CombineRowHashes(hs)
+	return CombineRowHashes(hs), nil
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
@@ -80,13 +97,14 @@ type CacheStats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	Coalesced int64 // callers served by joining another caller's in-flight build
 	Entries   int
 }
 
 // String renders the counters in the compact k=v form logs use.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d",
-		s.Hits, s.Misses, s.Evictions, s.Entries)
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d coalesced=%d entries=%d",
+		s.Hits, s.Misses, s.Evictions, s.Coalesced, s.Entries)
 }
 
 // Cache is an LRU of partition trees shared across queries (and, in
@@ -99,9 +117,18 @@ type Cache struct {
 	capacity  int
 	order     *list.List // front = most recently used; values are *cacheEntry
 	entries   map[Key]*list.Element
+	flights   map[Key]*flight // in-flight tree acquisitions, for coalescing
 	hits      int64
 	misses    int64
 	evictions int64
+	coalesced int64
+}
+
+// flight is one in-progress tree acquisition other callers can join.
+type flight struct {
+	done chan struct{} // closed once tree/err are set
+	tree *Tree
+	err  error
 }
 
 type cacheEntry struct {
@@ -181,7 +208,56 @@ func (c *Cache) Len() int {
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.order.Len()}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Coalesced: c.coalesced, Entries: c.order.Len()}
+}
+
+// do coalesces concurrent acquisitions of the same key onto one fn
+// call: the first caller becomes the builder and runs fn; the rest
+// park on the flight and share its tree. A joiner's context can cancel
+// its wait without affecting the builder. When the builder fails (for
+// example its own context was canceled), waiting joiners loop and the
+// next one retries as the builder — one caller's cancellation never
+// poisons another's query. Returns the tree, whether this caller
+// joined someone else's flight, and the error.
+func (c *Cache) do(ctx context.Context, k Key, fn func() (*Tree, error)) (*Tree, bool, error) {
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	for {
+		c.mu.Lock()
+		if c.flights == nil {
+			c.flights = map[Key]*flight{}
+		}
+		if f, ok := c.flights[k]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					c.mu.Lock()
+					c.coalesced++
+					c.mu.Unlock()
+					return f.tree, true, nil
+				}
+				if ctx != nil && ctx.Err() != nil {
+					return nil, false, ctx.Err()
+				}
+				continue // builder failed; retry, possibly as builder
+			case <-ctxDone:
+				return nil, false, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[k] = f
+		c.mu.Unlock()
+		f.tree, f.err = fn()
+		c.mu.Lock()
+		delete(c.flights, k)
+		c.mu.Unlock()
+		close(f.done)
+		return f.tree, false, f.err
+	}
 }
 
 // Clear drops every entry (counters are kept: they describe lifetime

@@ -302,7 +302,7 @@ func (p *patcher) repairLeaves() {
 			continue
 		}
 		if len(p.levels[ll][i].Tuples) > t.Tau {
-			groups := medianSplit(p.rows, append([]int(nil), p.levels[ll][i].Tuples...), attrs, t.Tau, 1)
+			groups := medianSplit(p.rows, append([]int(nil), p.levels[ll][i].Tuples...), attrs, t.Tau, 1, nil)
 			p.levels[ll][i].Tuples = groups[0]
 			for _, g := range groups[1:] {
 				p.addLeaf(g, i)
@@ -505,7 +505,7 @@ func (p *patcher) rebuildLeafGroup(children []int) []int {
 	for _, ci := range children {
 		p.dead[ll][ci] = true
 	}
-	groups := medianSplit(p.rows, tuples, shuffledAttrs(t.Attrs, p.opts.Seed), t.Tau, 1)
+	groups := medianSplit(p.rows, tuples, shuffledAttrs(t.Attrs, p.opts.Seed), t.Tau, 1, nil)
 	out := make([]int, 0, len(groups))
 	for _, g := range groups {
 		idx := len(p.levels[ll])

@@ -57,7 +57,11 @@ func Partition(inst *search.Instance, opts Options) *Partitioning {
 		all[i] = i
 	}
 	w := opts.workers()
-	part.Groups = medianSplit(inst.Rows, all, attrs, part.Tau, w)
+	var stop func() bool
+	if opts.Ctx != nil {
+		stop = opts.stopped
+	}
+	part.Groups = medianSplit(inst.Rows, all, attrs, part.Tau, w, stop)
 	part.Reps = make([]schema.Row, len(part.Groups))
 	parallelFor(w, len(part.Groups), func(i int) {
 		part.Reps[i] = representative(inst.Rows, part.Groups[i])
@@ -89,13 +93,22 @@ func shuffledAttrs(attrs []int, seed int64) []int {
 // the halves operate on disjoint subslices and their group lists are
 // concatenated in traversal order, so the result is identical at any
 // worker count.
-func medianSplit(rows []schema.Row, all []int, attrs []int, tau, workers int) [][]int {
-	return splitRec(rows, all, attrs, tau, newLimiter(workers))
+//
+// stop, when non-nil, is the cooperative-cancellation poll: once it
+// returns true the recursion unwinds immediately, returning each
+// remaining group unsplit (and unsorted) as a single oversized leaf.
+// The output is then structurally a partitioning but not THE
+// partitioning — callers on the cancellation path discard it.
+func medianSplit(rows []schema.Row, all []int, attrs []int, tau, workers int, stop func() bool) [][]int {
+	return splitRec(rows, all, attrs, tau, newLimiter(workers), stop)
 }
 
 // splitRec is medianSplit's recursion; it returns the subtree's groups
 // in traversal order so concurrent halves merge deterministically.
-func splitRec(rows []schema.Row, g []int, attrs []int, tau int, lim limiter) [][]int {
+func splitRec(rows []schema.Row, g []int, attrs []int, tau int, lim limiter, stop func() bool) [][]int {
+	if stop != nil && stop() {
+		return [][]int{append([]int(nil), g...)}
+	}
 	if len(g) <= tau {
 		gg := append([]int(nil), g...)
 		sort.Ints(gg)
@@ -108,7 +121,7 @@ func splitRec(rows []schema.Row, g []int, attrs []int, tau int, lim limiter) [][
 		var groups [][]int
 		for s := 0; s < len(g); s += tau {
 			e := min(s+tau, len(g))
-			groups = append(groups, splitRec(rows, g[s:e], attrs, tau, lim)...)
+			groups = append(groups, splitRec(rows, g[s:e], attrs, tau, lim, stop)...)
 		}
 		return groups
 	}
@@ -130,13 +143,13 @@ func splitRec(rows []schema.Row, g []int, attrs []int, tau int, lim limiter) [][
 		go func() {
 			defer close(done)
 			defer lim.release()
-			lg = splitRec(rows, left, attrs, tau, lim)
+			lg = splitRec(rows, left, attrs, tau, lim, stop)
 		}()
-		rg := splitRec(rows, right, attrs, tau, lim)
+		rg := splitRec(rows, right, attrs, tau, lim, stop)
 		<-done
 		return append(lg, rg...)
 	}
-	return append(splitRec(rows, left, attrs, tau, lim), splitRec(rows, right, attrs, tau, lim)...)
+	return append(splitRec(rows, left, attrs, tau, lim, stop), splitRec(rows, right, attrs, tau, lim, stop)...)
 }
 
 // partitionAttrs collects the numeric columns referenced by the query's

@@ -170,6 +170,12 @@ func residualSolve(inst *search.Instance, members []int, bound func(id int) (lo,
 	if !deadline.IsZero() && time.Now().After(deadline) {
 		return false
 	}
+	if opts.stopped() {
+		// Canceled: report failure so the wave's merge loop falls back
+		// to the (cheap) greedy path and the caller's own checkpoint
+		// surfaces the cancellation.
+		return false
+	}
 	m := len(members)
 	p := lp.NewProblem(m)
 	for j, id := range members {
@@ -205,7 +211,7 @@ func residualSolve(inst *search.Instance, members []int, bound func(id int) (lo,
 	for j := 0; j < m; j++ {
 		mp.SetInteger(j)
 	}
-	sol := milp.Solve(mp, milp.Options{MaxNodes: opts.nodes(), TimeLimit: timeShare(deadline, 4)})
+	sol := milp.Solve(mp, milp.Options{MaxNodes: opts.nodes(), TimeLimit: timeShare(deadline, 4), Ctx: opts.Ctx})
 	res.Nodes += int64(sol.Nodes)
 	res.LPIters += sol.LPIters
 	if sol.X == nil || (sol.Status != milp.StatusOptimal && sol.Status != milp.StatusFeasible) {

@@ -57,6 +57,7 @@
 package sketch
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -64,6 +65,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/lifecycle"
 	"repro/internal/lp"
 	"repro/internal/milp"
 	"repro/internal/paql"
@@ -82,6 +84,13 @@ const maxDepth = 8
 
 // Options tunes a SketchRefine evaluation.
 type Options struct {
+	// Ctx, when non-nil, cancels the evaluation cooperatively: the DNF
+	// branch loop, the offline tree build's median splits, every
+	// descent and refine sub-MILP (per branch-and-bound node and per
+	// simplex iteration) poll it. A cancelled Solve returns a
+	// lifecycle.ErrCanceled wrap promptly, discards partial work, and
+	// never publishes a partially-built tree to the cache or the store.
+	Ctx context.Context
 	// MaxPartitionSize bounds each leaf partition (τ); 0 = default (64).
 	MaxPartitionSize int
 	// NumPartitions targets a leaf count instead; the tighter of the
@@ -162,6 +171,20 @@ func (o Options) nodes() int {
 	return 50000
 }
 
+// stopped is the non-blocking poll behind every cooperative
+// cancellation checkpoint in the package.
+func (o Options) stopped() bool {
+	if o.Ctx == nil {
+		return false
+	}
+	select {
+	case <-o.Ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
 // EffectiveTau resolves the leaf size bound the options imply for an
 // n-candidate instance (exported for callers that perturb it between
 // re-solves, like the engine's multi-package path).
@@ -196,6 +219,7 @@ type Result struct {
 	CacheHit     bool    // partition tree served from the cache
 	TreeLoaded   bool    // partition tree loaded from the on-disk store
 	TreePatched  bool    // stale tree patched in place via ApplyDelta
+	Coalesced    bool    // tree acquisition joined another solve's in-flight build
 	DeltaApplied int     // tuples the patch inserted plus deleted
 	Workers      int     // workers the parallel phases fanned out across
 	Active       int     // leaf partitions the sketch solution touched
@@ -270,7 +294,7 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 		// vector and the cardinality bounds allow an empty package.
 		res.Mult = []int{}
 		for _, br := range branches {
-			ba, err := newBranchAtoms(inst, br)
+			ba, err := newBranchAtoms(opts.Ctx, inst, br)
 			if err != nil {
 				return nil, err
 			}
@@ -302,7 +326,10 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 	for pass := 0; ; pass++ {
 		best, fallback, last = nil, nil, nil
 		for bi, br := range branches {
-			ba, err := newBranchAtoms(inst, br)
+			if err := lifecycle.ContextErr(opts.Ctx); err != nil {
+				return nil, err
+			}
+			ba, err := newBranchAtoms(opts.Ctx, inst, br)
 			if err != nil {
 				return nil, err
 			}
@@ -382,19 +409,22 @@ type treeSource struct {
 	trees map[[2]int]*Tree
 }
 
-func (ts *treeSource) get(tau, depth int) *Tree {
+func (ts *treeSource) get(tau, depth int) (*Tree, error) {
 	k := [2]int{tau, depth}
 	if t, ok := ts.trees[k]; ok {
-		return t
+		return t, nil
 	}
 	o := ts.opts
 	o.MaxPartitionSize, o.NumPartitions, o.Depth = tau, 0, depth
-	t := acquireTree(ts.inst, o, ts.res)
+	t, err := acquireTree(ts.inst, o, ts.res)
+	if err != nil {
+		return nil, err
+	}
 	if ts.trees == nil {
 		ts.trees = map[[2]int]*Tree{}
 	}
 	ts.trees[k] = t
-	return t
+	return t, nil
 }
 
 // solveBranch runs the classic SketchRefine pipeline — acquire tree,
@@ -417,6 +447,9 @@ func solveBranch(inst *search.Instance, ba *branchAtoms, exAtoms []*translate.Li
 	reducedTau := false
 	var flatFrom *Tree // a hierarchical tree whose leaves the flat retry reuses
 	for {
+		if err := lifecycle.ContextErr(opts.Ctx); err != nil {
+			return err
+		}
 		var tree *Tree
 		if flatFrom != nil {
 			// The flat retry shares the previous tree's leaf level: same
@@ -426,7 +459,11 @@ func solveBranch(inst *search.Instance, ba *branchAtoms, exAtoms []*translate.Li
 			tree = flatFrom.flatten()
 			flatFrom = nil
 		} else {
-			tree = trees.get(tau, depth)
+			var err error
+			tree, err = trees.get(tau, depth)
+			if err != nil {
+				return err
+			}
 		}
 		res.Partitions = len(tree.Leaves())
 		res.Levels = tree.Depth
@@ -556,26 +593,56 @@ func pinCount(tuples []int, pins map[int]bool) int {
 // without one a rebuild overwrites it. CacheHit/TreeLoaded/TreePatched
 // reflect the tree this call returns: a retry that rebuilds clears
 // flags recorded by an earlier attempt.
-func acquireTree(inst *search.Instance, opts Options, res *Result) *Tree {
-	res.CacheHit, res.TreeLoaded, res.TreePatched, res.DeltaApplied = false, false, false, 0
+//
+// Concurrent misses on the same key coalesce onto one acquisition (see
+// Cache.do): joiners share the winner's tree and report Coalesced. A
+// canceled acquisition returns a lifecycle.ErrCanceled wrap and writes
+// nothing to either cache tier — the incomplete tree a canceled build
+// returns is discarded here, never published.
+func acquireTree(inst *search.Instance, opts Options, res *Result) (*Tree, error) {
+	res.CacheHit, res.TreeLoaded, res.TreePatched, res.Coalesced, res.DeltaApplied = false, false, false, false, 0
 	var store *Store
 	if opts.PersistDir != "" {
 		store = NewStore(opts.PersistDir)
 	}
 	if opts.Cache == nil && store == nil {
-		return BuildTree(inst, opts)
+		return buildFresh(inst, opts, res, nil, Key{}, nil)
 	}
-	key := KeyFor(inst, opts)
+	key, err := keyForCtx(inst, opts)
+	if err != nil {
+		return nil, err
+	}
 	width := 0
 	if len(inst.Rows) > 0 {
 		width = len(inst.Rows[0])
 	}
-	if !opts.forceRebuild {
+	if opts.forceRebuild {
+		return buildFresh(inst, opts, res, store, key, opts.Cache)
+	}
+	cacheGet := func() (*Tree, bool) {
+		if opts.Cache == nil {
+			return nil, false
+		}
+		t, ok := opts.Cache.Get(key)
+		if ok {
+			res.CacheHit = true
+			res.patchedAny = res.patchedAny || t.Patched
+		}
+		return t, ok
+	}
+	if t, ok := cacheGet(); ok {
+		return t, nil
+	}
+	miss := func() (*Tree, error) {
+		// The flight's winner may have populated the cache between this
+		// caller's miss and its grant; re-check before doing real work.
+		// Peek, not Get: the one recorded miss already describes this
+		// acquisition, a second lookup must not skew the counters.
 		if opts.Cache != nil {
-			if t, ok := opts.Cache.Get(key); ok {
+			if t, ok := opts.Cache.Peek(key); ok {
 				res.CacheHit = true
 				res.patchedAny = res.patchedAny || t.Patched
-				return t
+				return t, nil
 			}
 		}
 		if store != nil {
@@ -594,23 +661,49 @@ func acquireTree(inst *search.Instance, opts Options, res *Result) *Tree {
 				if opts.Cache != nil {
 					opts.Cache.Put(key, t)
 				}
-				return t
+				return t, nil
 			}
 		}
 		if t := patchStaleTree(inst, opts, key, store, res); t != nil {
-			return t
+			return t, nil
 		}
+		return buildFresh(inst, opts, res, store, key, opts.Cache)
 	}
+	if opts.Cache == nil {
+		return miss()
+	}
+	t, coalesced, err := opts.Cache.do(opts.Ctx, key, miss)
+	if err != nil {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return nil, lifecycle.Canceled(opts.Ctx.Err())
+		}
+		return nil, err
+	}
+	if coalesced {
+		res.Coalesced = true
+		res.patchedAny = res.patchedAny || t.Patched
+	}
+	return t, nil
+}
+
+// buildFresh runs the offline build and publishes the result to both
+// cache tiers — unless the context was canceled mid-build, in which
+// case the incomplete tree is dropped on the floor and an error
+// returned, keeping cache and store consistent.
+func buildFresh(inst *search.Instance, opts Options, res *Result, store *Store, key Key, cache *Cache) (*Tree, error) {
 	t := BuildTree(inst, opts)
-	if opts.Cache != nil {
-		opts.Cache.Put(key, t)
+	if err := lifecycle.ContextErr(opts.Ctx); err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		cache.Put(key, t)
 	}
 	if store != nil {
 		if err := store.Save(key, t); err != nil {
 			res.Notes = append(res.Notes, fmt.Sprintf("could not persist partition tree: %v", err))
 		}
 	}
-	return t
+	return t, nil
 }
 
 // patchStaleTree attempts incremental maintenance on an exact-key miss:
@@ -621,6 +714,11 @@ func acquireTree(inst *search.Instance, opts Options, res *Result) *Tree {
 // the delta cannot be absorbed locally (the caller then rebuilds).
 func patchStaleTree(inst *search.Instance, opts Options, key Key, store *Store, res *Result) *Tree {
 	if opts.Patch == nil || key.Fingerprint == opts.Patch.BaseFingerprint {
+		return nil
+	}
+	if opts.stopped() {
+		// A canceled solve must not publish a patched tree; report "no
+		// patch" and let the build path surface the cancellation.
 		return nil
 	}
 	baseKey := key
@@ -661,11 +759,24 @@ func patchStaleTree(inst *search.Instance, opts Options, key Key, store *Store, 
 // when precomputed) plus every knob that shapes the tree. Exported for
 // benchmarks and tooling that pre-seed the cache.
 func KeyFor(inst *search.Instance, opts Options) Key {
+	opts.Ctx = nil // tool callers want the key, not a cancellation point
+	key, _ := keyForCtx(inst, opts)
+	return key
+}
+
+// keyForCtx is KeyFor with the solve's context threaded into the O(n)
+// fingerprint hash, so a canceled evaluation bails out of the hash
+// instead of finishing it (the dominant per-solve cost at 1M rows when
+// no memo precomputes the fingerprint).
+func keyForCtx(inst *search.Instance, opts Options) (Key, error) {
 	fp := uint64(0)
 	if opts.Fingerprint != nil {
 		fp = *opts.Fingerprint
 	} else {
-		fp = Fingerprint(inst.Rows)
+		var err error
+		if fp, err = fingerprintCtx(opts.Ctx, inst.Rows); err != nil {
+			return Key{}, err
+		}
 	}
 	return Key{
 		Fingerprint: fp,
@@ -673,7 +784,7 @@ func KeyFor(inst *search.Instance, opts Options) Key {
 		Tau:         effectiveTau(len(inst.Rows), opts),
 		Depth:       opts.depth(),
 		Seed:        opts.Seed,
-	}
+	}, nil
 }
 
 func attrsKey(attrs []int) string {
@@ -767,7 +878,7 @@ func rootSolve(inst *search.Instance, nodes []Node, atoms []*translate.LinearAto
 	for g := 0; g < G; g++ {
 		mp.SetInteger(g)
 	}
-	sol := milp.Solve(mp, milp.Options{MaxNodes: opts.nodes(), TimeLimit: timeShare(deadline, 2)})
+	sol := milp.Solve(mp, milp.Options{MaxNodes: opts.nodes(), TimeLimit: timeShare(deadline, 2), Ctx: opts.Ctx})
 	res.Nodes += int64(sol.Nodes)
 	res.LPIters += sol.LPIters
 	switch sol.Status {

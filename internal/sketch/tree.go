@@ -82,6 +82,10 @@ func (t *Tree) leafPartitioning() *Partitioning {
 // same median splitter over the child representatives with a fanout of
 // ceil(P^(1/depth)), shrinking the node count by that factor per level;
 // building stops early once another level could not shrink the top.
+// When Options.Ctx is canceled mid-build the function returns early
+// with whatever structure exists so far; such a tree is incomplete and
+// every caller on the cancellation path (acquireTree) discards it
+// before it can reach a cache tier.
 func BuildTree(inst *search.Instance, opts Options) *Tree {
 	base := Partition(inst, opts)
 	t := &Tree{Attrs: base.Attrs, Tau: base.Tau, Depth: 1}
@@ -92,7 +96,7 @@ func BuildTree(inst *search.Instance, opts Options) *Tree {
 	})
 	t.Levels = [][]Node{leaves}
 	depth := opts.depth()
-	if depth <= 1 || len(leaves) == 0 {
+	if depth <= 1 || len(leaves) == 0 || opts.stopped() {
 		return t
 	}
 	// The median splitter halves groups until they fit the bound, so
@@ -103,8 +107,12 @@ func BuildTree(inst *search.Instance, opts Options) *Tree {
 	if fanout < 2 {
 		fanout = 2
 	}
-	for t.Depth < depth && len(t.Levels[0]) > fanout {
-		parents := groupLevel(inst, t.Levels[0], t.Attrs, fanout, opts.Seed, opts.workers())
+	var stop func() bool
+	if opts.Ctx != nil {
+		stop = opts.stopped
+	}
+	for t.Depth < depth && len(t.Levels[0]) > fanout && !opts.stopped() {
+		parents := groupLevel(inst, t.Levels[0], t.Attrs, fanout, opts.Seed, opts.workers(), stop)
 		t.Levels = append([][]Node{parents}, t.Levels...)
 		t.Depth++
 	}
@@ -118,14 +126,14 @@ func BuildTree(inst *search.Instance, opts Options) *Tree {
 // more faithful than averaging child representatives). Parents are
 // independent, so their unions and representatives are computed across
 // workers.
-func groupLevel(inst *search.Instance, children []Node, attrs []int, fanout int, seed int64, workers int) []Node {
+func groupLevel(inst *search.Instance, children []Node, attrs []int, fanout int, seed int64, workers int, stop func() bool) []Node {
 	repRows := make([]schema.Row, len(children))
 	all := make([]int, len(children))
 	for i := range children {
 		repRows[i] = children[i].Rep
 		all[i] = i
 	}
-	groups := medianSplit(repRows, all, shuffledAttrs(attrs, seed), fanout, workers)
+	groups := medianSplit(repRows, all, shuffledAttrs(attrs, seed), fanout, workers, stop)
 	parents := make([]Node, len(groups))
 	parallelFor(workers, len(groups), func(pi int) {
 		g := groups[pi]

@@ -60,6 +60,18 @@
 // branch wins. Stats report the branch and rewrite counts
 // (SketchBranches / SketchAtomRewrites).
 //
+// Every evaluation surface has a context-aware variant — QueryContext,
+// ExplainContext, ExploreContext, ExecSQLContext, and RunContext on a
+// Prepared — that threads the context cooperatively through candidate
+// scans, MILP branch-and-bound, and SketchRefine's parallel build and
+// refine phases, so cancellation returns promptly even mid-solve over
+// millions of tuples. Outcomes are distinguished by an errors.Is-able
+// taxonomy (ErrInfeasible, ErrCanceled, ErrBudgetExceeded,
+// ErrAdmission); WithTimeout is sugar for a derived context deadline and
+// WithMemoryBudget refuses queries whose planner-predicted working set
+// exceeds a byte budget. The context-free methods (Query, Explore, ...)
+// evaluate under context.Background() with the original contracts.
+//
 // Typical use:
 //
 //	sys := packagebuilder.New()
@@ -69,6 +81,7 @@
 package packagebuilder
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -76,12 +89,35 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/lifecycle"
 	"repro/internal/minidb"
 	"repro/internal/paql"
 	"repro/internal/plan"
 	"repro/internal/sketch"
 	"repro/internal/template"
 	"repro/internal/viz"
+)
+
+// Typed query-lifecycle errors, re-exported from the lifecycle package.
+// Match them with errors.Is; wrapped causes (context.Canceled,
+// context.DeadlineExceeded) survive the wrap.
+var (
+	// ErrInfeasible: the query provably has no satisfying package.
+	// Returned only by the context-aware surfaces and only on proof
+	// (contradictory cardinality bounds, or an exact strategy completing
+	// empty); a heuristic strategy finding nothing is an empty result,
+	// not an error.
+	ErrInfeasible = lifecycle.ErrInfeasible
+	// ErrCanceled: the context was canceled or its deadline expired
+	// before any answer was computed.
+	ErrCanceled = lifecycle.ErrCanceled
+	// ErrBudgetExceeded: the planner-predicted working set exceeds the
+	// query's WithMemoryBudget; evaluation was refused before any
+	// allocation.
+	ErrBudgetExceeded = lifecycle.ErrBudgetExceeded
+	// ErrAdmission: a serving-side admission controller shed the query
+	// (pbserver maps it to HTTP 429 with a Retry-After).
+	ErrAdmission = lifecycle.ErrAdmission
 )
 
 // System is a PackageBuilder instance: an embedded database plus the
@@ -125,6 +161,16 @@ func (s *System) DB() *minidb.DB { return s.db }
 
 // ExecSQL runs one SQL statement against the embedded database.
 func (s *System) ExecSQL(sql string) (*minidb.Result, error) {
+	return s.db.Exec(sql)
+}
+
+// ExecSQLContext is ExecSQL under a context. Statements are short and
+// run to completion once started; the context gates starting at all —
+// a dead context returns ErrCanceled without touching the database.
+func (s *System) ExecSQLContext(ctx context.Context, sql string) (*minidb.Result, error) {
+	if err := lifecycle.ContextErr(ctx); err != nil {
+		return nil, err
+	}
 	return s.db.Exec(sql)
 }
 
@@ -172,8 +218,20 @@ func WithStrategy(st Strategy) Option { return func(o *core.Options) { o.Strateg
 // WithLimit requests n packages (overrides the query's LIMIT).
 func WithLimit(n int) Option { return func(o *core.Options) { o.Limit = n } }
 
-// WithTimeout bounds evaluation time.
+// WithTimeout bounds evaluation time. Under the context-aware surfaces
+// it is sugar for a derived context deadline: the strategies treat it as
+// a soft budget first (best-effort packages beat an error) with hard
+// cancellation trailing as the backstop; symmetrically, a context
+// deadline with no WithTimeout becomes the soft budget.
 func WithTimeout(d time.Duration) Option { return func(o *core.Options) { o.Timeout = d } }
+
+// WithMemoryBudget caps the planner-predicted peak working set (bytes) a
+// query may allocate: evaluation refuses with ErrBudgetExceeded before
+// dispatching a strategy whose estimate exceeds the budget. The
+// estimate is the plan's "memory" decision — EXPLAIN shows it.
+func WithMemoryBudget(bytes int64) Option {
+	return func(o *core.Options) { o.MemoryBudget = bytes }
+}
 
 // WithSeed seeds the randomized strategies.
 func WithSeed(seed int64) Option { return func(o *core.Options) { o.Seed = seed } }
@@ -283,16 +341,37 @@ func (s *System) buildOptions(opts []Option) core.Options {
 	return o
 }
 
-// Query evaluates a PaQL query.
+// Query evaluates a PaQL query under context.Background() with the
+// legacy contract: a provably infeasible query is an empty result, not
+// an error. See QueryContext for the typed-error surface.
 func (s *System) Query(paqlText string, opts ...Option) (*Result, error) {
 	return core.Evaluate(s.db, paqlText, s.buildOptions(opts))
 }
 
+// QueryContext evaluates a PaQL query under a context. The context is
+// checked cooperatively through every evaluation phase, so cancellation
+// returns promptly with partial work discarded and the shared partition
+// tree cache left consistent. Outcomes map onto the error taxonomy:
+// ErrInfeasible (provably no package), ErrCanceled (context canceled, or
+// deadline expired empty-handed), ErrBudgetExceeded (WithMemoryBudget
+// refusal) — all errors.Is-able.
+func (s *System) QueryContext(ctx context.Context, paqlText string, opts ...Option) (*Result, error) {
+	return core.EvaluateContext(ctx, s.db, paqlText, s.buildOptions(opts))
+}
+
 // Prepare parses and binds a PaQL query for repeated evaluation.
 // Repeated prep.Run calls share the system's partition-tree cache and
-// fingerprint memo.
+// fingerprint memo; prep.RunContext adds the context-aware typed-error
+// contract per run.
 func (s *System) Prepare(paqlText string) (*core.Prepared, error) {
-	prep, err := core.Prepare(s.db, paqlText)
+	return s.PrepareContext(context.Background(), paqlText)
+}
+
+// PrepareContext is Prepare under a context: the candidate scan — the
+// one preparation phase linear in the table — checks for cancellation
+// periodically.
+func (s *System) PrepareContext(ctx context.Context, paqlText string) (*core.Prepared, error) {
+	prep, err := core.PrepareContext(ctx, s.db, paqlText)
 	if err != nil {
 		return nil, err
 	}
@@ -311,7 +390,14 @@ func (s *System) Parse(paqlText string) (*paql.Query, error) {
 // tree source — each with cost estimates and reasons). A leading
 // EXPLAIN keyword in the text is accepted and ignored.
 func (s *System) Explain(paqlText string, opts ...Option) (*QueryPlan, error) {
-	prep, err := s.Prepare(paqlText)
+	return s.ExplainContext(context.Background(), paqlText, opts...)
+}
+
+// ExplainContext is Explain under a context. Planning itself is cheap
+// and never blocks; the context governs the preparation scan that
+// precedes it.
+func (s *System) ExplainContext(ctx context.Context, paqlText string, opts ...Option) (*QueryPlan, error) {
+	prep, err := s.PrepareContext(ctx, paqlText)
 	if err != nil {
 		return nil, err
 	}
@@ -322,6 +408,14 @@ func (s *System) Explain(paqlText string, opts ...Option) (*QueryPlan, error) {
 // pin tuples, request replacements.
 func (s *System) Explore(paqlText string, opts ...Option) (*explore.Session, error) {
 	return explore.NewSession(s.db, paqlText, s.buildOptions(opts))
+}
+
+// ExploreContext is Explore under a context. The session's own
+// RefreshContext and ReplaceContext take per-evaluation contexts with
+// the typed-error contract; the context given here governs only session
+// preparation.
+func (s *System) ExploreContext(ctx context.Context, paqlText string, opts ...Option) (*explore.Session, error) {
+	return explore.NewSessionContext(ctx, s.db, paqlText, s.buildOptions(opts))
 }
 
 // Template converts PaQL text into an editable package template (§3.1).
