@@ -495,6 +495,65 @@ func BenchmarkE13_PlannerVsHandSet(b *testing.B) {
 	}
 }
 
+// BenchmarkE15_CertifiedBounds times the certified-interval machinery:
+// the meal query with the planner-chosen bound pass (every answer must
+// ship a certificate), and the two-branch disjunctive query with
+// GapTolerance=5% (the anytime exit must certify after fewer branches
+// than the tolerance-off control). cmd/pbench -exp e15 prints the
+// matching table with the 100k/1M points and the standalone bound-LP
+// overhead.
+func BenchmarkE15_CertifiedBounds(b *testing.B) {
+	n := 20000
+	b.Run(fmt.Sprintf("certified/n=%d", n), func(b *testing.B) {
+		db := benchDB(b, n)
+		prep, err := core.Prepare(db, benchMealQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := core.Options{Seed: 1, SketchCache: sketch.NewCache(0),
+			SketchMemo: core.NewFingerprintMemo(), Catalog: catalog.New(db)}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := prep.Run(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Stats.Certified {
+				b.Fatalf("no certificate: %+v", res.Stats)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("anytime-gap5/n=%d", n), func(b *testing.B) {
+		db := benchDB(b, n)
+		prep, err := core.Prepare(db, bench.E15Disjunctive)
+		if err != nil {
+			b.Fatal(err)
+		}
+		control, err := prep.Run(core.Options{Strategy: core.SketchRefineStrategy, Seed: 1,
+			SketchCache: sketch.NewCache(0), SketchMemo: core.NewFingerprintMemo()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := core.Options{Strategy: core.SketchRefineStrategy, Seed: 1,
+			SketchCache: sketch.NewCache(0), SketchMemo: core.NewFingerprintMemo(),
+			GapTolerance: 0.05}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := prep.Run(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Stats.Certified {
+				b.Fatalf("anytime run lost the certificate: %+v", res.Stats)
+			}
+			if res.Stats.SketchBranches >= control.Stats.SketchBranches {
+				b.Fatalf("no early exit: %d branches with tolerance vs %d without",
+					res.Stats.SketchBranches, control.Stats.SketchBranches)
+			}
+		}
+	})
+}
+
 // BenchmarkSketchPartition isolates the offline partitioning step.
 func BenchmarkSketchPartition(b *testing.B) {
 	prep := benchPrep(b, 10000)

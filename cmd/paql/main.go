@@ -50,7 +50,14 @@
 // given bytes, and Ctrl-C cancels the in-flight solve cooperatively.
 // One-shot runs exit with distinct codes per outcome so scripts can
 // branch: 2 provably infeasible, 3 canceled, 4 over budget, 1 other
-// errors.
+// errors. The REPL classifies failures identically — each error line
+// carries the same outcome label ("paql: budget: ...") the one-shot
+// exit code would report — and --help prints the full pairing.
+//
+// Objective queries come back with a certificate: the result footer
+// prints "certified: objective ∈ [bound, found]" with the proven
+// relative gap, and -max-gap 0.05 switches on the anytime mode — the
+// solve stops as soon as the gap is provably within 5%.
 package main
 
 import (
@@ -96,6 +103,13 @@ func main() {
 	explain := flag.Bool("explain", false, "plan the query — print the strategy and knob decisions — without executing it")
 	timeout := flag.Duration("timeout", 0, "per-query soft time budget; best-effort packages at expiry (0 = none)")
 	memBudget := flag.Int64("mem-budget", 0, "per-query memory budget in bytes, enforced at solve admission (0 = unlimited)")
+	maxGap := flag.Float64("max-gap", 0, "anytime mode: stop once the optimality gap is certified ≤ this fraction, e.g. 0.05 (0 = solve fully; the certified interval is reported either way)")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintln(out, "usage: paql [flags]")
+		flag.PrintDefaults()
+		fmt.Fprint(out, exitCodeTable)
+	}
 	flag.Parse()
 	// Only an explicit -sketch-incr on the command line forces the
 	// patch-vs-rebuild choice; otherwise the planner decides per query.
@@ -138,7 +152,7 @@ func main() {
 		sketchDepth: *sketchDepth, sketchCache: *sketchCache,
 		sketchPar: *sketchPar, sketchDir: *sketchDir, sketchIncr: *sketchIncr,
 		sketchIncrSet: sketchIncrSet, explain: *explain,
-		timeout: *timeout, memBudget: *memBudget,
+		timeout: *timeout, memBudget: *memBudget, maxGap: *maxGap,
 	}
 	if text == "" {
 		repl(sys, cli)
@@ -175,6 +189,7 @@ type cliOpts struct {
 	explain       bool
 	timeout       time.Duration
 	memBudget     int64
+	maxGap        float64
 }
 
 func runQuery(ctx context.Context, sys *pb.System, text string, cli cliOpts) {
@@ -195,21 +210,46 @@ func runQuery(ctx context.Context, sys *pb.System, text string, cli cliOpts) {
 	pb.FormatResult(os.Stdout, sys, res)
 }
 
-// failErr prints the error and exits with a lifecycle-aware code so
-// scripts can branch on the outcome: 2 when the query is provably
-// infeasible, 3 when it was canceled or timed out empty-handed, 4 when
-// the memory budget refused it, 1 for everything else.
-func failErr(err error) {
-	fmt.Fprintf(os.Stderr, "paql: %v\n", err)
+// exitCodeTable is the one-shot outcome → exit-code pairing appended to
+// --help; the REPL prints the same labels on its error lines instead of
+// exiting.
+const exitCodeTable = `
+exit codes (one-shot; REPL error lines carry the same labels):
+  0  ok
+  1  error       anything not classified below
+  2  infeasible  provably no package satisfies the query
+  3  canceled    Ctrl-C, or the deadline expired empty-handed
+  4  budget      -mem-budget refused the query at admission
+`
+
+// outcome maps an evaluation error onto the CLI's documented outcome
+// label and exit code. One-shot runs exit with the code; the REPL
+// prints the label and keeps going — one classification for both
+// surfaces, so scripts and humans read a single taxonomy.
+func outcome(err error) (int, string) {
 	switch {
 	case errors.Is(err, pb.ErrInfeasible):
-		os.Exit(2)
+		return 2, "infeasible"
 	case errors.Is(err, pb.ErrCanceled):
-		os.Exit(3)
+		return 3, "canceled"
 	case errors.Is(err, pb.ErrBudgetExceeded):
-		os.Exit(4)
+		return 4, "budget"
 	}
-	os.Exit(1)
+	return 1, "error"
+}
+
+// failErr prints the classified error and exits with its outcome code.
+func failErr(err error) {
+	code, label := outcome(err)
+	fmt.Fprintf(os.Stderr, "paql: %s: %v\n", label, err)
+	os.Exit(code)
+}
+
+// replErr reports a failed statement without leaving the REPL, printing
+// the identical outcome label the one-shot exit code would map to.
+func replErr(err error) {
+	_, label := outcome(err)
+	fmt.Fprintf(os.Stderr, "paql: %s: %v\n", label, err)
 }
 
 // isExplain reports whether the statement starts with the EXPLAIN
@@ -270,6 +310,9 @@ func buildOpts(cli cliOpts) ([]pb.Option, error) {
 	}
 	if cli.memBudget > 0 {
 		opts = append(opts, pb.WithMemoryBudget(cli.memBudget))
+	}
+	if cli.maxGap > 0 {
+		opts = append(opts, pb.WithGapTolerance(cli.maxGap))
 	}
 	return opts, nil
 }
@@ -342,19 +385,19 @@ func execStmt(sys *pb.System, stmt string, cli cliOpts) {
 	upper := strings.ToUpper(stmt)
 	if isExplain(stmt) {
 		if err := runExplain(ctx, sys, os.Stdout, stmt, cli); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+			replErr(err)
 		}
 		return
 	}
 	if strings.HasPrefix(upper, "SELECT PACKAGE") {
 		opts, err := buildOpts(cli)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+			replErr(err)
 			return
 		}
 		res, err := sys.QueryContext(ctx, stmt, opts...)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+			replErr(err)
 			return
 		}
 		pb.FormatResult(os.Stdout, sys, res)
@@ -362,7 +405,7 @@ func execStmt(sys *pb.System, stmt string, cli cliOpts) {
 	}
 	res, err := sys.ExecSQLContext(ctx, stmt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
+		replErr(err)
 		return
 	}
 	res.Format(os.Stdout)

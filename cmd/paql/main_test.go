@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -56,6 +58,53 @@ func TestRunExplainPrintsPlan(t *testing.T) {
 	}
 	if strings.Contains(out, "EXPLAIN") {
 		t.Errorf("plan header kept the EXPLAIN prefix:\n%s", out)
+	}
+}
+
+// TestOutcomeParity pins the documented exit-code ↔ error taxonomy in
+// one place: the one-shot exit path and the REPL error lines both
+// classify through outcome(), so every errors.Is pairing — including
+// code 4 ↔ ErrBudgetExceeded, which the REPL used to drop — must map
+// the same on both surfaces, and --help must document each code.
+func TestOutcomeParity(t *testing.T) {
+	cases := []struct {
+		err   error
+		code  int
+		label string
+	}{
+		{pb.ErrInfeasible, 2, "infeasible"},
+		{pb.ErrCanceled, 3, "canceled"},
+		{pb.ErrBudgetExceeded, 4, "budget"},
+		{errors.New("parse error"), 1, "error"},
+		{fmt.Errorf("wrapped: %w", pb.ErrBudgetExceeded), 4, "budget"},
+	}
+	for _, c := range cases {
+		code, label := outcome(c.err)
+		if code != c.code || label != c.label {
+			t.Errorf("outcome(%v) = (%d, %q), want (%d, %q)", c.err, code, label, c.code, c.label)
+		}
+		if !strings.Contains(exitCodeTable, fmt.Sprintf("%d  %s", c.code, c.label)) {
+			t.Errorf("--help exit-code table missing %d/%s:\n%s", c.code, c.label, exitCodeTable)
+		}
+	}
+}
+
+// TestReplBudgetErrorLabeled drives the real REPL statement path under a
+// tiny memory budget: the failure must surface with the same "budget"
+// label the one-shot path exits 4 on.
+func TestReplBudgetErrorLabeled(t *testing.T) {
+	sys := testSystem(t)
+	opts, err := buildOpts(cliOpts{strategy: "auto", seed: 1, memBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, qerr := sys.QueryContext(context.Background(), `SELECT PACKAGE(R) AS P FROM recipes R
+		SUCH THAT COUNT(*) = 3 MAXIMIZE SUM(P.protein)`, opts...)
+	if !errors.Is(qerr, pb.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded under a 1-byte budget, got %v", qerr)
+	}
+	if code, label := outcome(qerr); code != 4 || label != "budget" {
+		t.Fatalf("REPL would report (%d, %q), want (4, \"budget\")", code, label)
 	}
 }
 

@@ -208,6 +208,11 @@ func (s *server) packageJSON(ses *explore.Session, p *core.Package, stats *core.
 		out.Stats["candidates"] = stats.Candidates
 		out.Stats["bounds"] = stats.Bounds.String()
 		out.Stats["elapsedMs"] = float64(stats.Elapsed.Microseconds()) / 1000
+		if stats.Certified {
+			out.Stats["certified"] = true
+			out.Stats["boundValue"] = stats.BoundValue
+			out.Stats["gap"] = stats.Gap
+		}
 		if stats.MemoryEstimate > 0 {
 			out.Stats["memoryEstimate"] = stats.MemoryEstimate
 		}
@@ -544,6 +549,12 @@ function render(p) {
     }
     stats = '\nstrategy: ' + p.stats.strategy + sk +
       '  candidates: ' + p.stats.candidates + '  ' + p.stats.elapsedMs + 'ms';
+    if (p.stats.certified) {
+      const lo = Math.min(p.objective, p.stats.boundValue);
+      const hi = Math.max(p.objective, p.stats.boundValue);
+      stats += '\ncertified: objective in [' + lo + ', ' + hi + ']  gap ' +
+        (100 * p.stats.gap).toFixed(2) + '%';
+    }
     if (p.stats.plannedStrategy) stats += '\nplanned: ' + p.stats.plannedStrategy;
   }
   document.getElementById('aggs').textContent =

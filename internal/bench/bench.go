@@ -18,6 +18,7 @@
 //	E12 follow-up  incremental tree maintenance: full rebuild vs ApplyDelta per write batch
 //	E13 follow-up  cost-based planner: planner-chosen strategy/knobs vs hand-set defaults
 //	E14 follow-up  query lifecycle under load: QPS and p50/p95/p99 behind admission control
+//	E15 follow-up  certified dual bounds: LP bound-pass overhead + anytime early-exit savings
 //
 // Each Run* prints an aligned table to cfg.Out; EXPERIMENTS.md records
 // the measured shapes against the paper's claims.
@@ -90,7 +91,7 @@ func RunAll(cfg Config) error {
 		{"F1", RunF1}, {"E1", RunE1}, {"E2", RunE2}, {"E3", RunE3},
 		{"E4", RunE4}, {"E5", RunE5}, {"E6", RunE6}, {"E7", RunE7},
 		{"E8", RunE8}, {"E9", RunE9}, {"E10", RunE10}, {"E11", RunE11},
-		{"E12", RunE12}, {"E13", RunE13}, {"E14", RunE14},
+		{"E12", RunE12}, {"E13", RunE13}, {"E14", RunE14}, {"E15", RunE15},
 	}
 	for _, s := range steps {
 		if err := s.fn(cfg); err != nil {
@@ -136,8 +137,10 @@ func Run(id string, cfg Config) error {
 		return RunE13(cfg)
 	case "e14", "E14":
 		return RunE14(cfg)
+	case "e15", "E15":
+		return RunE15(cfg)
 	}
-	return fmt.Errorf("bench: unknown experiment %q (f1, e1..e14, all)", id)
+	return fmt.Errorf("bench: unknown experiment %q (f1, e1..e15, all)", id)
 }
 
 // evalTimed runs a query under options and reports elapsed wall time.

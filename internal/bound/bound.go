@@ -1,0 +1,265 @@
+// Package bound computes certified dual bounds for package queries.
+//
+// A package query is an integer program: pick a multiplicity m_t ≥ 0
+// for every candidate tuple t subject to linear aggregate constraints,
+// optimizing a linear objective. Dropping integrality gives the LP
+// relaxation, whose optimum is an always-valid dual bound — for a
+// maximization no integral package can beat it, for a minimization
+// none can undercut it — so the true optimum provably lies between
+// the bound and any feasible incumbent's objective.
+//
+// The engine works over *groups* of candidates so the same machinery
+// covers two regimes:
+//
+//   - Raw candidates: one singleton group per tuple. The relaxation is
+//     the exact LP relaxation of the query's MILP — the tightest bound
+//     an LP can give.
+//   - Partition-tree leaves: one group per leaf, with the leaf's tuple
+//     set as members. Constraint coefficients collapse to the safe end
+//     of the group's coefficient range (per-group minimum for ≤ rows,
+//     maximum for ≥ rows; the objective takes the optimistic end), so
+//     the LP has one variable per leaf instead of one per tuple and
+//     stays small at any scale. The proof obligation is one line: with
+//     w_t ≥ lo_g and m_t ≥ 0, lo_g·Σm_t ≤ Σw_t·m_t, so every integral
+//     feasible package maps to a feasible point of the grouped LP.
+//
+// Disjunctive queries bound each DNF branch independently and merge
+// with Best: the union's optimum is bounded by the best branch bound.
+// A branch whose relaxation is infeasible contributes nothing — but an
+// infeasible relaxation is never treated as a proof that the original
+// query is infeasible, because the engine's lowering of strict
+// comparisons is epsilon-tightened.
+//
+// All certified bounds are padded by a relative numerical safety
+// margin in the safe direction (see Pad) so simplex round-off cannot
+// flip a true statement into a false one.
+package bound
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/translate"
+)
+
+// Group is one variable of the relaxation: a set of candidate tuple
+// indexes whose total multiplicity is relaxed to a single continuous
+// variable bounded by [Lo, Hi].
+type Group struct {
+	// Tuples lists the candidate indexes the group covers. Constraint
+	// and objective coefficients for the group are min/max reductions
+	// over these indexes.
+	Tuples []int
+	// Lo is the least total multiplicity the group must carry — the
+	// number of pinned tuples inside it.
+	Lo float64
+	// Hi caps the group's total multiplicity (tuple count × per-tuple
+	// cap, shrunk to the admissible supply); lp.Inf means uncapped.
+	Hi float64
+}
+
+// Outcome is the result of one relaxation solve.
+type Outcome struct {
+	// Bound is the certified dual bound on the objective, in the
+	// problem's sense: an upper bound for a maximization, a lower
+	// bound for a minimization. Valid only when Certified.
+	Bound float64
+	// Certified reports that the relaxation solved to proven
+	// optimality, so Bound is a true dual bound.
+	Certified bool
+	// Infeasible reports that the relaxation itself had no feasible
+	// point. This bounds nothing about the original query (the
+	// lowering of strict comparisons is epsilon-tightened), but for a
+	// DNF branch it means the branch contributes no candidate optimum.
+	Infeasible bool
+	// Iterations counts simplex iterations spent on the solve.
+	Iterations int
+}
+
+// Interval is a certified objective interval: the true optimum lies
+// between Found (a feasible incumbent's objective) and Bound (the dual
+// bound), whichever order the sense puts them in.
+type Interval struct {
+	// Found is the incumbent package's objective value.
+	Found float64
+	// Bound is the certified dual bound.
+	Bound float64
+	// Certified reports whether Bound is proven; an uncertified
+	// interval is just the incumbent with no error bar.
+	Certified bool
+}
+
+// Gap returns the relative width of the interval,
+// |Found − Bound| / max(1, |Found|) — the certified relative
+// optimality gap when the interval is certified.
+func (iv Interval) Gap() float64 {
+	return math.Abs(iv.Found-iv.Bound) / math.Max(1, math.Abs(iv.Found))
+}
+
+// Pad inflates a dual bound by a relative numerical safety margin in
+// the safe direction for the sense (up for a maximization bound, down
+// for a minimization bound), so floating-point round-off in the solve
+// cannot make the bound claim more than was proven.
+func Pad(b float64, sense lp.Sense) float64 {
+	margin := 1e-7 * (1 + math.Abs(b))
+	if sense == lp.Maximize {
+		return b + margin
+	}
+	return b - margin
+}
+
+// Candidates builds the singleton grouping over n raw candidates: one
+// group per tuple with Lo = 1 for pinned indexes and Hi = maxMult
+// (uncapped when maxMult ≤ 0). The resulting relaxation is the exact
+// LP relaxation of the query's MILP.
+func Candidates(n, maxMult int, pins map[int]bool) []Group {
+	hi := lp.Inf
+	if maxMult > 0 {
+		hi = float64(maxMult)
+	}
+	groups := make([]Group, n)
+	for i := range groups {
+		groups[i] = Group{Tuples: []int{i}, Hi: hi}
+		if pins[i] {
+			groups[i].Lo = 1
+		}
+	}
+	return groups
+}
+
+// Relax builds the grouped LP relaxation of a conjunction of linear
+// atoms: one continuous variable per group bounded by [Lo, Hi], each ≤
+// row taking the per-group minimum tuple coefficient, each ≥ row the
+// maximum, equality rows split into both, and the objective taking the
+// optimistic end for the sense (maximum for Maximize, minimum for
+// Minimize). objW holds one objective weight per candidate tuple; nil
+// means a zero objective.
+func Relax(atoms []*translate.LinearAtom, objW []float64, sense lp.Sense, groups []Group) (*lp.Problem, error) {
+	p := lp.NewProblem(len(groups))
+	obj := make([]float64, len(groups))
+	for g, grp := range groups {
+		if err := p.SetBounds(g, grp.Lo, grp.Hi); err != nil {
+			return nil, err
+		}
+		obj[g] = groupCoef(objW, grp.Tuples, sense == lp.Maximize)
+	}
+	if err := p.SetObjective(obj, sense); err != nil {
+		return nil, err
+	}
+	for _, at := range atoms {
+		switch at.Op {
+		case lp.LE:
+			addRow(p, at.W, groups, lp.LE, at.RHS, false)
+		case lp.GE:
+			addRow(p, at.W, groups, lp.GE, at.RHS, true)
+		case lp.EQ:
+			// m ≥ 0 makes the min-coefficient sum a lower envelope of
+			// the true row value and the max-coefficient sum an upper
+			// envelope, so an equality is relaxed to the band between
+			// them.
+			addRow(p, at.W, groups, lp.LE, at.RHS, false)
+			addRow(p, at.W, groups, lp.GE, at.RHS, true)
+		}
+	}
+	return p, nil
+}
+
+// addRow appends one relaxed constraint row, reducing each group's
+// tuple coefficients to their maximum (wantMax) or minimum.
+func addRow(p *lp.Problem, w []float64, groups []Group, op lp.Op, rhs float64, wantMax bool) {
+	coefs := make([]lp.Coef, 0, len(groups))
+	for g, grp := range groups {
+		c := groupCoef(w, grp.Tuples, wantMax)
+		if c != 0 {
+			coefs = append(coefs, lp.Coef{Var: g, Val: c})
+		}
+	}
+	p.AddConstraint(coefs, op, rhs)
+}
+
+// groupCoef reduces a weight vector over a group's tuples to its
+// maximum (wantMax) or minimum; an empty group contributes zero.
+func groupCoef(w []float64, tuples []int, wantMax bool) float64 {
+	if len(w) == 0 || len(tuples) == 0 {
+		return 0
+	}
+	c := w[tuples[0]]
+	for _, t := range tuples[1:] {
+		v := w[t]
+		if wantMax && v > c || !wantMax && v < c {
+			c = v
+		}
+	}
+	return c
+}
+
+// Solve optimizes a relaxation built by Relax and classifies the
+// result. konst is the affine objective constant the relaxation's
+// rows omit (the query objective is konst + Σ w·m); it is added to
+// the LP optimum before padding. A canceled or iteration-limited
+// solve returns an uncertified outcome — an interrupted simplex
+// proves nothing.
+func Solve(ctx context.Context, p *lp.Problem, konst float64) Outcome {
+	var o lp.Options
+	if ctx != nil {
+		o.Cancel = func() bool {
+			select {
+			case <-ctx.Done():
+				return true
+			default:
+				return false
+			}
+		}
+	}
+	sol := lp.Solve(p, o)
+	out := Outcome{Iterations: sol.Iterations}
+	switch sol.Status {
+	case lp.StatusOptimal:
+		out.Bound = Pad(sol.Objective+konst, p.Sense())
+		out.Certified = true
+	case lp.StatusInfeasible:
+		out.Infeasible = true
+	}
+	return out
+}
+
+// Best merges per-branch outcomes of a DNF union into one. The union's
+// optimum is the best branch optimum, so its dual bound is the best
+// (largest for Maximize, smallest for Minimize) certified branch
+// bound. The merge is certified only when every branch is accounted
+// for — certified or relaxation-infeasible — and at least one is
+// certified; a single interrupted branch leaves the union unproven.
+// Infeasible is set only when every branch relaxation was infeasible,
+// which callers must NOT surface as certified query infeasibility.
+func Best(sense lp.Sense, outs []Outcome) Outcome {
+	res := Outcome{Infeasible: len(outs) > 0}
+	accounted, seen := true, false
+	for _, o := range outs {
+		res.Iterations += o.Iterations
+		if o.Infeasible {
+			continue
+		}
+		res.Infeasible = false
+		if !o.Certified {
+			accounted = false
+			continue
+		}
+		if !seen || better(sense, o.Bound, res.Bound) {
+			res.Bound = o.Bound
+		}
+		seen = true
+	}
+	res.Certified = accounted && seen
+	return res
+}
+
+// better reports whether a beats b as a union bound for the sense: a
+// maximization union is bounded by the largest branch bound, a
+// minimization union by the smallest.
+func better(sense lp.Sense, a, b float64) bool {
+	if sense == lp.Maximize {
+		return a > b
+	}
+	return a < b
+}

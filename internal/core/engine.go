@@ -194,6 +194,15 @@ type Options struct {
 	// not base-table row ids) that must appear in every package —
 	// adaptive exploration (§3.3) pins kept tuples through this.
 	Require []int
+	// GapTolerance, when positive, switches SketchRefine into its
+	// anytime mode: every evaluation carries a certified dual bound
+	// (Stats.BoundValue), and once a feasible package is provably
+	// within this relative gap of the bound, the remaining DNF branch
+	// descents are skipped — early exit with a proof. Zero keeps the
+	// certified interval without changing what is evaluated. The knob
+	// is threaded to the planner as forced, so EXPLAIN shows it on the
+	// bound decision.
+	GapTolerance float64
 }
 
 // Package is one evaluated package.
@@ -251,6 +260,9 @@ type Stats struct {
 	SketchCoalesced    bool         // tree acquisition joined another query's in-flight build
 	SketchWorkers      int          // workers the sketch-refine parallel phases used
 	MemoryEstimate     int64        // planner-predicted peak working set, bytes
+	BoundValue         float64      // certified dual bound on the objective (valid when Certified)
+	Gap                float64      // certified relative gap |objective − BoundValue| / max(1, |objective|)
+	Certified          bool         // BoundValue provably brackets the exact optimum (internal/bound)
 	Elapsed            time.Duration
 	Notes              []string // strategy decisions, fallbacks, caveats
 	// Plan is the cost-based planner's decision trail for this

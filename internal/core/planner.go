@@ -67,8 +67,9 @@ func (p *Prepared) tableStats(opts Options) catalog.TableStats {
 // so the planner echoes them back marked "forced" instead of deciding.
 func (p *Prepared) forcedKnobs(opts Options) plan.Forced {
 	f := plan.Forced{
-		Depth:       opts.SketchDepth,
-		Parallelism: opts.SketchParallelism,
+		Depth:        opts.SketchDepth,
+		Parallelism:  opts.SketchParallelism,
+		GapTolerance: opts.GapTolerance,
 	}
 	if opts.Strategy != Auto {
 		f.Strategy = opts.Strategy.String()

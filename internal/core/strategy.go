@@ -9,8 +9,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/bound"
 	"repro/internal/lifecycle"
+	"repro/internal/lp"
 	"repro/internal/milp"
+	"repro/internal/paql"
 	"repro/internal/plan"
 	"repro/internal/prune"
 	"repro/internal/search"
@@ -236,6 +239,16 @@ func (p *Prepared) run(ctx context.Context, opts Options) (*Result, error) {
 		}
 		res.Packages = append(res.Packages, pkg)
 	}
+	// An exact strategy that ran to completion is its own certificate:
+	// the best package IS the optimum — a zero-width certified interval.
+	// The solver path (branch-and-bound dual bound) and the sketch path
+	// (LP relaxation over leaves or raw candidates) set richer intervals
+	// inside their runners; this only fills the enumeration strategies.
+	if res.Stats.Exact && !res.Stats.Certified && p.Query != nil && p.Query.Objective != nil && len(res.Packages) > 0 {
+		res.Stats.BoundValue = res.Packages[0].Objective
+		res.Stats.Gap = 0
+		res.Stats.Certified = true
+	}
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -352,6 +365,7 @@ func (p *Prepared) runSketch(ctx context.Context, res *Result, opts Options, fet
 		PersistDir:       opts.SketchPersistDir,
 		Fingerprint:      fpPtr,
 		Patch:            patch,
+		GapTolerance:     opts.GapTolerance,
 	})
 	if err != nil {
 		return nil, err
@@ -371,11 +385,22 @@ func (p *Prepared) runSketch(ctx context.Context, res *Result, opts Options, fet
 	res.Stats.Nodes += sres.Nodes
 	res.Stats.LPIters += sres.LPIters
 	res.Stats.Exact = false
+	res.Stats.BoundValue = sres.Bound
+	res.Stats.Gap = sres.Gap
+	res.Stats.Certified = sres.Certified
 	res.Stats.Notes = append(res.Stats.Notes, sres.Notes...)
+	gapNote := "; objective gap unproven"
+	if sres.Certified {
+		lo, hi := sres.Objective, sres.Bound
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		gapNote = fmt.Sprintf("; certified objective ∈ [%.6g, %.6g], gap %.2f%%", lo, hi, 100*sres.Gap)
+	}
 	res.Stats.Notes = append(res.Stats.Notes, fmt.Sprintf(
-		"sketch-refine: %d leaf partitions (τ bound), %d levels, %d top-level vars%s%s, %d active, %d refined, %d repaired; objective gap unproven",
+		"sketch-refine: %d leaf partitions (τ bound), %d levels, %d top-level vars%s%s, %d active, %d refined, %d repaired%s",
 		sres.Partitions, sres.Levels, sres.TopVars, cacheNote(sres.CacheHit, sres.TreeLoaded, sres.TreePatched),
-		branchNote(sres.Branches, sres.AtomRewrites), sres.Active, sres.Refined, sres.Repaired))
+		branchNote(sres.Branches, sres.AtomRewrites), sres.Active, sres.Refined, sres.Repaired, gapNote))
 	if !sres.Feasible {
 		res.Stats.Notes = append(res.Stats.Notes,
 			"sketch-refine found no feasible package (the query may still be feasible; try -strategy solver)")
@@ -593,6 +618,32 @@ func (p *Prepared) runSolver(ctx context.Context, res *Result, opts Options, fet
 				break
 			}
 			res.Stats.Notes = append(res.Stats.Notes, "solver hit its limits; best incumbent returned without proof")
+		}
+		if k == 0 && p.Query.Objective != nil && p.Instance.ObjW != nil && !sol.Canceled {
+			// The branch-and-bound dual bound is the certificate the exact
+			// path gets for free. A canceled search proves nothing (a node
+			// may have been dropped mid-relaxation), so only uncanceled
+			// solves certify. Translate drops the affine objective
+			// constant, so both sides add it back; the limit-path bound is
+			// clamped to the incumbent (the global dual bound is the
+			// better of the best open node and the incumbent) and padded
+			// against round-off.
+			sense := lp.Minimize
+			if p.Query.Objective.Sense == paql.Maximize {
+				sense = lp.Maximize
+			}
+			found := sol.Objective + p.Instance.ObjK
+			if sol.Status == milp.StatusOptimal {
+				res.Stats.BoundValue = found
+			} else {
+				b := sol.Bound + p.Instance.ObjK
+				if sense == lp.Maximize && b < found || sense == lp.Minimize && b > found {
+					b = found
+				}
+				res.Stats.BoundValue = bound.Pad(b, sense)
+			}
+			res.Stats.Certified = true
+			res.Stats.Gap = bound.Interval{Found: found, Bound: res.Stats.BoundValue}.Gap()
 		}
 		mult := model.Multiplicities(sol.X)
 		mults = append(mults, mult)

@@ -28,6 +28,7 @@ var Inf = math.Inf(1)
 // Sense selects the optimization direction.
 type Sense int
 
+// The two optimization directions.
 const (
 	Minimize Sense = iota
 	Maximize
@@ -42,6 +43,7 @@ const (
 	EQ           // Σ aᵢⱼxⱼ = b
 )
 
+// String renders the relation as its PaQL/SQL operator.
 func (o Op) String() string {
 	switch o {
 	case LE:
@@ -237,6 +239,7 @@ const (
 	StatusIterLimit
 )
 
+// String names the status for logs and error messages.
 func (s Status) String() string {
 	switch s {
 	case StatusOptimal:

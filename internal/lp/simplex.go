@@ -50,8 +50,13 @@ func Solve(p *Problem, opts ...Options) *Solution {
 			sol.Status = StatusInfeasible
 			return sol
 		}
-		t.fixArtificials()
 	}
+	// Pin artificials to zero even when phase 1 was skipped because the
+	// initial point was already feasible: every artificial starts at 0
+	// then, but with its upper bound still infinite phase 2 could move
+	// a basic artificial off zero — reporting a spurious unbounded ray
+	// or returning a point that violates its equality row.
+	t.fixArtificials()
 	// Phase 2: the real objective.
 	status, iters := t.iterate(t.costs, maxIters, opt.Cancel)
 	sol.Iterations += iters

@@ -75,6 +75,24 @@ const (
 	SourceBuild = "build"
 )
 
+// Bound values: which dual-bound pass certifies the objective interval
+// the evaluation returns (internal/bound).
+const (
+	// BoundRawLP: LP relaxation over the raw candidates — the exact LP
+	// relaxation of the query's MILP, the tightest bound an LP gives.
+	BoundRawLP = "raw-lp"
+	// BoundTreeLP: LP relaxation over the partition-tree leaves, with
+	// per-leaf coefficient ranges; one variable per leaf keeps the
+	// bound pass tiny at any scale.
+	BoundTreeLP = "tree-lp"
+	// BoundMILPDual: the exact solver's own branch-and-bound dual bound
+	// (gap 0 when it proves optimality).
+	BoundMILPDual = "milp-dual"
+	// BoundNone: nothing to bound — no objective, or a strategy with no
+	// relaxation to certify against.
+	BoundNone = "none"
+)
+
 // AtomMix classifies a query's constraint atoms — the query-planner
 // half's output.
 type AtomMix struct {
@@ -93,6 +111,10 @@ type AtomMix struct {
 	SumCount int `json:"sumCountAtoms"`
 	Avg      int `json:"avgAtoms"`
 	MinMax   int `json:"minMaxAtoms"`
+	// Objective reports whether the query optimizes an objective — a
+	// feasibility-only query has nothing to bound, so the bound
+	// decision keys on this.
+	Objective bool `json:"objective,omitempty"`
 }
 
 // AnalyzeAtoms binds an analyzed query into an atom mix. sketchErr is
@@ -100,7 +122,8 @@ type AtomMix struct {
 // when the sketch path can run it); it is injected so this package
 // stays independent of internal/sketch.
 func AnalyzeAtoms(a *paql.Analysis, sketchErr error) AtomMix {
-	m := AtomMix{Linear: a.Linear, NonlinearReasons: a.NonlinearReasons}
+	m := AtomMix{Linear: a.Linear, NonlinearReasons: a.NonlinearReasons,
+		Objective: a.Query != nil && a.Query.Objective != nil}
 	for _, agg := range a.Aggs {
 		switch agg.Fn {
 		case "AVG":
@@ -152,6 +175,9 @@ type Forced struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	// Incremental is the explicit patch-vs-rebuild choice, or nil.
 	Incremental *bool `json:"incremental,omitempty"`
+	// GapTolerance is the explicit anytime gap tolerance (fractional,
+	// e.g. 0.05 = stop once provably within 5% of optimal), or 0.
+	GapTolerance float64 `json:"gapTolerance,omitempty"`
 }
 
 // Input is everything the execution planner looks at — a snapshot, so
@@ -232,6 +258,10 @@ type Plan struct {
 	// strategy (CostModel.MemoryEstimate); engines gate admission on it
 	// against a per-query memory budget.
 	MemoryBytes int64 `json:"memoryBytes,omitempty"`
+	// Bound names the dual-bound pass the evaluation will run to
+	// certify its objective interval (BoundRawLP, BoundTreeLP,
+	// BoundMILPDual, or BoundNone).
+	Bound string `json:"bound,omitempty"`
 	// Decisions is the ordered decision trail.
 	Decisions []Decision `json:"decisions"`
 }

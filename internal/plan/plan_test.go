@@ -12,7 +12,7 @@ import (
 )
 
 func linearMix() AtomMix {
-	return AtomMix{Linear: true, SketchOK: true, Branches: 1, SumCount: 2}
+	return AtomMix{Linear: true, SketchOK: true, Branches: 1, SumCount: 2, Objective: true}
 }
 
 func baseInput(n int) Input {
@@ -292,6 +292,8 @@ atoms: linear; 2 sum/count; 1 branch
 │      delta 1.0% of the table ≤ 25% budget (2.50 writes/s): patch stale trees in place
 ├─ tree-source = build
 │      no cached, persisted, or patchable tree: full offline build
+├─ bound = tree-lp  [cost ≈ 1.56e+03]
+│      LP relaxation over ~1563 partition leaves (envelope coefficient ranges), 1 branch(es)
 └─ memory = 3.1 MB
        predicted peak working set for sketch-refine over 100000 candidates (2 atoms)
 `

@@ -66,6 +66,10 @@ func (pl *Planner) Plan(in Input) *Plan {
 	// engines gate admission on it, so every plan must carry it.
 	pl.pickMemory(p, in, strat, tau, depth)
 
+	// The bound decision also runs after the filter: every strategy's
+	// plan says how (or whether) its objective interval gets certified.
+	pl.pickBound(p, in, strat, tau)
+
 	// The strategy decision reads best first; knob decisions follow in
 	// pick order.
 	orderDecisions(p)
@@ -89,6 +93,49 @@ func (pl *Planner) pickMemory(p *Plan, in Input, strat string, tau, depth int) {
 	})
 }
 
+// pickBound records which dual-bound pass will certify the objective
+// interval (internal/bound): the exact solver proves its own
+// branch-and-bound bound, the sketch path solves one LP per DNF branch
+// — over the raw candidates while they are few, over the partition
+// leaves beyond that — and strategies without a relaxation leave the
+// gap unproven. The cost estimate is the relaxation's variable count
+// times the branch count (one simplex solve each, a rounding error
+// next to any descent).
+func (pl *Planner) pickBound(p *Plan, in Input, strat string, tau int) {
+	cm := pl.Cost
+	d := Decision{Name: "bound"}
+	branches := in.Mix.Branches
+	if branches < 1 {
+		branches = 1
+	}
+	switch {
+	case !in.Mix.Objective:
+		d.Value = BoundNone
+		d.Reason = "no objective: feasibility needs no dual bound"
+	case strat == StrategySolver || strat == StrategyPrunedEnum:
+		d.Value = BoundMILPDual
+		d.Reason = "exact strategy: the search proves its own dual bound (gap 0 at optimality)"
+	case strat != StrategySketch:
+		d.Value = BoundNone
+		d.Reason = fmt.Sprintf("%s has no relaxation to certify against: gap stays unproven", strat)
+	case in.N <= cm.SketchThreshold:
+		d.Value = BoundRawLP
+		d.Cost = float64(in.N * branches)
+		d.Reason = fmt.Sprintf("%d candidates ≤ %d: the exact LP relaxation is affordable and tightest", in.N, cm.SketchThreshold)
+	default:
+		leaves := (in.N + tau - 1) / tau
+		d.Value = BoundTreeLP
+		d.Cost = float64(leaves * branches)
+		d.Reason = fmt.Sprintf("LP relaxation over ~%d partition leaves (envelope coefficient ranges), %d branch(es)", leaves, branches)
+	}
+	if in.Forced.GapTolerance > 0 && d.Value != BoundNone {
+		d.Forced = true
+		d.Reason += fmt.Sprintf("; anytime mode stops once provably within %.1f%% of optimal", 100*in.Forced.GapTolerance)
+	}
+	p.Bound = d.Value
+	p.Decisions = append(p.Decisions, d)
+}
+
 // formatBytes renders a byte count with a binary-ish unit for the
 // decision trail (the same rendering lifecycle's budget errors use).
 func formatBytes(b int64) string {
@@ -107,7 +154,7 @@ func formatBytes(b int64) string {
 func orderDecisions(p *Plan) {
 	rank := map[string]int{
 		"strategy": 0, "tau": 1, "depth": 2, "parallelism": 3,
-		"maintenance": 4, "tree-source": 5, "memory": 6,
+		"maintenance": 4, "tree-source": 5, "bound": 6, "memory": 7,
 	}
 	out := make([]Decision, 0, len(p.Decisions))
 	for r := 0; r < len(rank); r++ {

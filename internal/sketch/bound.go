@@ -1,0 +1,63 @@
+package sketch
+
+import (
+	"repro/internal/bound"
+	"repro/internal/search"
+	"repro/internal/translate"
+)
+
+// rawBoundCap is the candidate count up to which the dual bound is
+// computed over the raw candidates (the exact LP relaxation of the
+// query's MILP — the tightest bound an LP can give). Above it the
+// bound runs over the partition-tree leaves instead, one LP variable
+// per leaf with coefficient-range relaxation, so the bound pass stays
+// tiny at any scale. Matches the planner's SketchThreshold: below it
+// the exact strategy would run anyway.
+const rawBoundCap = 4096
+
+// branchBound computes the LP-relaxation dual bound for one DNF
+// branch: the branch's exact tuple-level rows (plus any exclusion
+// cuts) relaxed over singleton groups when the candidates are few, or
+// over the shared partition tree's leaves — pinned counts as lower
+// bounds, admissible supply as caps — when they are many. The tree is
+// the same one the descent uses (memoized by trees), so the bound adds
+// no partitioning work.
+func branchBound(inst *search.Instance, ba *branchAtoms, exAtoms []*translate.LinearAtom, pins map[int]bool, trees *treeSource, opts Options) (bound.Outcome, error) {
+	atoms := ba.tuple
+	if len(exAtoms) > 0 {
+		atoms = append(append([]*translate.LinearAtom{}, ba.tuple...), exAtoms...)
+	}
+	n := len(inst.Rows)
+	var groups []bound.Group
+	if n <= rawBoundCap {
+		groups = bound.Candidates(n, inst.MaxMult, pins)
+	} else {
+		tree, err := trees.get(effectiveTau(n, opts), opts.depth())
+		if err != nil {
+			return bound.Outcome{}, err
+		}
+		leaves := tree.Leaves()
+		adm := ba.admissibleCounts(leaves)
+		groups = make([]bound.Group, len(leaves))
+		for g := range leaves {
+			groups[g] = bound.Group{
+				Tuples: leaves[g].Tuples,
+				Lo:     float64(pinCount(leaves[g].Tuples, pins)),
+				Hi:     nodeCap(inst, &leaves[g], adm, g),
+			}
+		}
+	}
+	for _, g := range groups {
+		if g.Lo > g.Hi {
+			// A pinned tuple inside a fully-eliminated group: the branch
+			// relaxation has no feasible point (same conclusion rootSolve
+			// draws for the sketch itself).
+			return bound.Outcome{Infeasible: true}, nil
+		}
+	}
+	p, err := bound.Relax(atoms, inst.ObjW, objSense(inst), groups)
+	if err != nil {
+		return bound.Outcome{}, err
+	}
+	return bound.Solve(opts.Ctx, p, inst.ObjK), nil
+}

@@ -50,6 +50,8 @@ type incrStats struct {
 	bonus                  int       // patched feasible where the rebuilt heuristic missed
 	gapPatched, gapRebuilt []float64 // parallel, per proven optimum with both sides feasible
 	worse                  int       // rounds where the patched gap exceeded rebuilt by >25 points
+	certPatched            int       // certified intervals computed from patched envelopes
+	certRebuilt            int       // certified intervals from from-scratch rebuilds
 }
 
 // nullObjective recognizes the engine's long-standing empty-package
@@ -203,6 +205,25 @@ func incrOne(t *testing.T, g *qgen, st *incrStats) bool {
 			if gp > gr+0.25 {
 				st.worse++
 			}
+			// Bound soundness under writes: a certified interval whose
+			// envelopes came from ApplyDelta patches must remain valid
+			// against the post-write exact optimum, exactly like one
+			// from a from-scratch rebuild.
+			tol := 1e-6 * (1 + math.Abs(exactObj))
+			if pres.Stats.Certified {
+				st.certPatched++
+				if prep.Instance.Better(exactObj, pres.Stats.BoundValue) && math.Abs(exactObj-pres.Stats.BoundValue) > tol {
+					t.Fatalf("BOUND VIOLATION (patched tree): exact optimum %g beats certified bound %g\n%s",
+						exactObj, pres.Stats.BoundValue, ctx)
+				}
+			}
+			if rres.Certified {
+				st.certRebuilt++
+				if prep.Instance.Better(exactObj, rres.Bound) && math.Abs(exactObj-rres.Bound) > tol {
+					t.Fatalf("BOUND VIOLATION (rebuilt tree): exact optimum %g beats certified bound %g\n%s",
+						exactObj, rres.Bound, ctx)
+				}
+			}
 		}
 	}
 	if ran {
@@ -245,8 +266,14 @@ func TestIncrementalVsRebuildCorpus(t *testing.T) {
 		rng.Read(data)
 		incrOne(t, &qgen{data: data}, &st)
 	}
-	t.Logf("cases=%d rounds=%d patched=%d feasible=%d bonus=%d optima=%d worse-than-rebuilt=%d",
-		st.cases, st.rounds, st.patched, st.feasible, st.bonus, len(st.gapPatched), st.worse)
+	t.Logf("cases=%d rounds=%d patched=%d feasible=%d bonus=%d optima=%d worse-than-rebuilt=%d cert-patched=%d cert-rebuilt=%d",
+		st.cases, st.rounds, st.patched, st.feasible, st.bonus, len(st.gapPatched), st.worse, st.certPatched, st.certRebuilt)
+	if st.certPatched == 0 {
+		t.Error("no certified interval ever came from a patched tree; write-path bound coverage is gone")
+	}
+	if st.certRebuilt == 0 {
+		t.Error("no certified interval ever came from a rebuilt tree")
+	}
 	if st.rounds > 0 && float64(st.bonus)/float64(st.rounds) > 0.10 {
 		t.Errorf("patched trees out-recalled rebuilds in %d/%d rounds; the comparison is no longer apples-to-apples", st.bonus, st.rounds)
 	}

@@ -150,6 +150,8 @@ type diffStats struct {
 	ran, skFeasible, exFeasible int
 	skMissed                    int       // exact feasible, sketch not
 	gaps                        []float64 // relative objective gap per proven optimum
+	certified                   int       // results carrying a certified interval
+	certGaps                    []float64 // certified relative gap per certified result
 }
 
 // diffOne generates one case and cross-checks sketch vs exact. It
@@ -239,7 +241,25 @@ func diffOne(t *testing.T, g *qgen, st *diffStats) (*genCase, bool) {
 				}
 				denom := math.Max(1, math.Abs(exactObj))
 				st.gaps = append(st.gaps, math.Abs(skres.Objective-exactObj)/denom)
+				// (4) A certified interval must bracket the proven
+				// optimum: by weak duality the dual bound may never be
+				// beaten by it, in either sense.
+				if skres.Certified {
+					tol := 1e-6 * (1 + math.Abs(exactObj))
+					if inst.Better(exactObj, skres.Bound) && math.Abs(exactObj-skres.Bound) > tol {
+						t.Fatalf("BOUND VIOLATION: exact optimum %g beats certified bound %g\n%s",
+							exactObj, skres.Bound, gc.queryText)
+					}
+					if inst.Better(skres.Objective, skres.Bound) && math.Abs(skres.Objective-skres.Bound) > tol {
+						t.Fatalf("certified interval inverted: found %g beats bound %g\n%s",
+							skres.Objective, skres.Bound, gc.queryText)
+					}
+				}
 			}
+		}
+		if skres.Certified {
+			st.certified++
+			st.certGaps = append(st.certGaps, skres.Gap)
 		}
 	} else if exactOptimal {
 		st.skMissed++
@@ -281,16 +301,21 @@ func TestDifferentialSketchVsExact1000(t *testing.T) {
 	}
 	var st diffStats
 	kinds := map[string]int{}
+	certKinds := map[string]int{}
 	rng := rand.New(rand.NewSource(20260728))
 	attempts := 0
 	for st.ran < target && attempts < 4*target {
 		attempts++
 		data := make([]byte, 64)
 		rng.Read(data)
+		before := st.certified
 		gc, ran := diffOne(t, &qgen{data: data}, &st)
 		if ran {
 			for k := range gc.kinds {
 				kinds[k]++
+				if st.certified > before {
+					certKinds[k]++
+				}
 			}
 		}
 	}
@@ -332,6 +357,31 @@ func TestDifferentialSketchVsExact1000(t *testing.T) {
 		missRate := float64(st.skMissed) / float64(st.exFeasible)
 		if missRate > 0.5 {
 			t.Errorf("sketch missed %.0f%% of exactly-feasible instances: recall regressed", 100*missRate)
+		}
+	}
+	// Certified-interval gates: enough objective-carrying results must
+	// come back with a proof, spanning every atom kind, and the proven
+	// gaps must stay in a sane band (the soundness of each proof is
+	// checked per case in diffOne).
+	t.Logf("certified=%d certKinds=%v", st.certified, certKinds)
+	if st.certified == 0 {
+		t.Fatal("no result carried a certified interval; the bound engine never engaged")
+	}
+	for _, k := range []string{"sum", "count", "avg", "min", "max", "or", "filter"} {
+		if certKinds[k] == 0 {
+			t.Errorf("atom kind %q never produced a certified interval", k)
+		}
+	}
+	if n := len(st.certGaps); n > 0 {
+		within100 := 0
+		for _, g := range st.certGaps {
+			if g <= 1.0 {
+				within100++
+			}
+		}
+		t.Logf("certified gaps: %d total, %d within 100%%", n, within100)
+		if frac := float64(within100) / float64(n); frac < 0.60 {
+			t.Errorf("only %.0f%% of certified gaps within 100%% (want >= 60%%): bounds got uselessly loose", 100*frac)
 		}
 	}
 }

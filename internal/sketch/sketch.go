@@ -65,6 +65,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/bound"
 	"repro/internal/lifecycle"
 	"repro/internal/lp"
 	"repro/internal/milp"
@@ -156,6 +157,13 @@ type Options struct {
 	// of the current candidate count (0 = DefaultDeltaMaxFrac); larger
 	// deltas rebuild.
 	DeltaMaxFrac float64
+	// GapTolerance, when positive, switches on the anytime mode: once a
+	// feasible package is provably within this relative gap of the
+	// certified dual bound over every DNF branch, the remaining branch
+	// descents are skipped — early exit with a proof. Zero (the
+	// default) still computes and reports the certified interval but
+	// never changes what is descended.
+	GapTolerance float64
 	// forceRebuild bypasses the cache, store, and patch lookups and
 	// builds fresh, overwriting both tiers. Set internally by Solve's
 	// patched-infeasible retry: a patched tree that yields no feasible
@@ -211,6 +219,9 @@ type Result struct {
 	Mult         []int   // multiplicity per candidate
 	Objective    float64 // objective of Mult (0 when the query has none)
 	Feasible     bool    // Mult satisfies the full SUCH THAT formula (and pins)
+	Bound        float64 // certified dual bound on the objective (valid when Certified)
+	Gap          float64 // certified relative gap |Objective − Bound| / max(1, |Objective|)
+	Certified    bool    // Bound provably brackets the exact optimum (see internal/bound)
 	Partitions   int     // leaf partitions produced by the offline step
 	Levels       int     // partition-tree levels used (1 = flat)
 	TopVars      int     // variables in the top-level sketch MILP
@@ -323,15 +334,57 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 	// no branch reaches feasibility (mirrors the single-branch contract:
 	// a best-effort package plus Feasible=false).
 	var best, fallback, last *Result
+	// merged is the certified dual bound over every DNF branch (the
+	// union's optimum cannot beat the best branch relaxation); it backs
+	// both the reported interval and the anytime early exit.
+	wantBound := inst.Analysis.Query.Objective != nil && inst.ObjW != nil
+	var merged bound.Outcome
 	for pass := 0; ; pass++ {
 		best, fallback, last = nil, nil, nil
+		var outs []bound.Outcome
+		// Anytime pre-pass: with a gap tolerance and several branches,
+		// bound every branch up front (cheap LPs over leaves or raw
+		// candidates) so the descent loop below can stop as soon as an
+		// incumbent is provably within tolerance of the union bound.
+		prebounded := false
+		if wantBound && opts.GapTolerance > 0 && len(branches) > 1 {
+			for _, br := range branches {
+				ba, err := newBranchAtoms(opts.Ctx, inst, br)
+				if err != nil {
+					return nil, err
+				}
+				out, err := branchBound(inst, ba, exAtoms, pins, trees, opts)
+				if err != nil {
+					return nil, err
+				}
+				outs = append(outs, out)
+			}
+			merged = bound.Best(objSense(inst), outs)
+			prebounded = true
+		}
 		for bi, br := range branches {
 			if err := lifecycle.ContextErr(opts.Ctx); err != nil {
 				return nil, err
 			}
+			if prebounded && best != nil && merged.Certified {
+				iv := bound.Interval{Found: best.Objective, Bound: merged.Bound}
+				if iv.Gap() <= opts.GapTolerance {
+					res.Notes = append(res.Notes, fmt.Sprintf(
+						"anytime: certified gap %.2f%% ≤ tolerance %.2f%% after %d of %d branches; skipping the rest",
+						100*iv.Gap(), 100*opts.GapTolerance, bi, len(branches)))
+					break
+				}
+			}
 			ba, err := newBranchAtoms(opts.Ctx, inst, br)
 			if err != nil {
 				return nil, err
+			}
+			if wantBound && !prebounded {
+				out, err := branchBound(inst, ba, exAtoms, pins, trees, opts)
+				if err != nil {
+					return nil, err
+				}
+				outs = append(outs, out)
 			}
 			bres := &Result{}
 			last = bres
@@ -358,6 +411,9 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 			} else if fallback == nil && bres.Mult != nil {
 				fallback = bres
 			}
+		}
+		if wantBound && !prebounded {
+			merged = bound.Best(objSense(inst), outs)
 		}
 		if best != nil || pass > 0 || !res.patchedAny {
 			break
@@ -394,6 +450,11 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 	res.Mult, res.Objective, res.Feasible = pick.Mult, pick.Objective, pick.Feasible
 	res.Partitions, res.Levels, res.TopVars = pick.Partitions, pick.Levels, pick.TopVars
 	res.Active, res.Refined, res.Repaired = pick.Active, pick.Refined, pick.Repaired
+	res.LPIters += merged.Iterations
+	if merged.Certified && res.Feasible {
+		res.Bound, res.Certified = merged.Bound, true
+		res.Gap = bound.Interval{Found: res.Objective, Bound: res.Bound}.Gap()
+	}
 	return res, nil
 }
 

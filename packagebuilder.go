@@ -60,6 +60,14 @@
 // branch wins. Stats report the branch and rewrite counts
 // (SketchBranches / SketchAtomRewrites).
 //
+// Answers with an objective come with a certificate: alongside the best
+// package found, the engine proves an LP-relaxation dual bound over the
+// search space (internal/bound), so Stats report a certified
+// objective ∈ [bound, found] interval and relative gap rather than an
+// unquantified "approximate" answer. WithGapTolerance(tol) turns the
+// certificate into an anytime mode — SketchRefine stops descending as
+// soon as the proven gap drops within tol.
+//
 // Every evaluation surface has a context-aware variant — QueryContext,
 // ExplainContext, ExploreContext, ExecSQLContext, and RunContext on a
 // Prepared — that threads the context cooperatively through candidate
@@ -231,6 +239,17 @@ func WithTimeout(d time.Duration) Option { return func(o *core.Options) { o.Time
 // estimate is the plan's "memory" decision — EXPLAIN shows it.
 func WithMemoryBudget(bytes int64) Option {
 	return func(o *core.Options) { o.MemoryBudget = bytes }
+}
+
+// WithGapTolerance switches on the anytime mode: SketchRefine keeps
+// descending only while the certified relative optimality gap — the
+// distance between the best package found and the LP dual bound proven
+// over the remaining search space — exceeds tol (e.g. 0.05 for 5%).
+// Once within tolerance it stops early and still returns the certified
+// objective ∈ [bound, found] interval. Zero (the default) disables
+// early exit but the interval is computed and reported regardless.
+func WithGapTolerance(tol float64) Option {
+	return func(o *core.Options) { o.GapTolerance = tol }
 }
 
 // WithSeed seeds the randomized strategies.
@@ -457,6 +476,13 @@ func FormatResult(w io.Writer, sys *System, res *Result) {
 	st := res.Stats
 	fmt.Fprintf(w, "strategy=%s exact=%v candidates=%d bounds=%s elapsed=%s\n",
 		st.Strategy, st.Exact, st.Candidates, st.Bounds, st.Elapsed.Round(time.Microsecond))
+	if st.Certified && len(res.Packages) > 0 && res.Query.Objective != nil {
+		lo, hi := res.Packages[0].Objective, st.BoundValue
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		fmt.Fprintf(w, "certified: objective ∈ [%.6g, %.6g] (gap %.2f%%)\n", lo, hi, 100*st.Gap)
+	}
 	if st.SpaceFull != nil && st.SpacePruned != nil {
 		fmt.Fprintf(w, "search space: %s of %s candidate packages after §4.1 pruning\n",
 			st.SpacePruned.String(), st.SpaceFull.String())
