@@ -554,6 +554,45 @@ func BenchmarkE15_CertifiedBounds(b *testing.B) {
 	})
 }
 
+// BenchmarkE16_BandTightening times the staged bound pipeline against
+// the legacy per-leaf envelope on the BETWEEN-heavy band query, and
+// asserts the pipeline's certified gap actually beats the envelope's —
+// the tightening stages' whole point. cmd/pbench -exp e16 prints the
+// matching table with the 100k/1M points, bound-pass share, and the
+// anytime early-exit cell.
+func BenchmarkE16_BandTightening(b *testing.B) {
+	n := 20000
+	db := benchDB(b, n)
+	prep, err := core.Prepare(db, bench.E16Query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solve := func(b *testing.B, mode string) *sketch.Result {
+		res, err := sketch.Solve(prep.Instance, sketch.Options{Seed: 1, BoundMode: mode})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Feasible || !res.Certified {
+			b.Fatalf("mode %q: no certified package: %+v", mode, res)
+		}
+		return res
+	}
+	envGap := solve(b, sketch.BoundModeEnvelope).Gap
+	b.Run(fmt.Sprintf("envelope/n=%d", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			solve(b, sketch.BoundModeEnvelope)
+		}
+	})
+	b.Run(fmt.Sprintf("pipeline/n=%d", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res := solve(b, ""); res.Gap >= envGap {
+				b.Fatalf("pipeline gap %.2f%% did not beat envelope gap %.2f%%",
+					100*res.Gap, 100*envGap)
+			}
+		}
+	})
+}
+
 // BenchmarkSketchPartition isolates the offline partitioning step.
 func BenchmarkSketchPartition(b *testing.B) {
 	prep := benchPrep(b, 10000)

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: f1, e1..e14, all")
+	exp := flag.String("exp", "all", "experiment to run: f1, e1..e16, all")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	seed := flag.Int64("seed", 42, "synthetic dataset seed")
 	flag.Parse()

@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/bound"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -212,6 +213,17 @@ func (s *server) packageJSON(ses *explore.Session, p *core.Package, stats *core.
 			out.Stats["certified"] = true
 			out.Stats["boundValue"] = stats.BoundValue
 			out.Stats["gap"] = stats.Gap
+			// gapText is the server-rendered figure via the shared
+			// bound.Interval helper, so the UI shows the same rounding
+			// (and the |objective| < 1 clamp note) as the CLI surfaces.
+			iv := bound.Interval{Found: p.Objective, Bound: stats.BoundValue, Certified: true}
+			out.Stats["gapText"] = iv.FormatGap()
+			if stats.BoundStage != "" {
+				out.Stats["boundStage"] = stats.BoundStage
+			}
+			if stats.BoundTightenRounds > 0 {
+				out.Stats["boundTightenRounds"] = stats.BoundTightenRounds
+			}
 		}
 		if stats.MemoryEstimate > 0 {
 			out.Stats["memoryEstimate"] = stats.MemoryEstimate
@@ -553,7 +565,9 @@ function render(p) {
       const lo = Math.min(p.objective, p.stats.boundValue);
       const hi = Math.max(p.objective, p.stats.boundValue);
       stats += '\ncertified: objective in [' + lo + ', ' + hi + ']  gap ' +
-        (100 * p.stats.gap).toFixed(2) + '%';
+        (p.stats.gapText || (100 * p.stats.gap).toFixed(2) + '%');
+      if (p.stats.boundStage) stats += '  via ' + p.stats.boundStage +
+        (p.stats.boundTightenRounds ? ' (' + p.stats.boundTightenRounds + ' tightening rounds)' : '');
     }
     if (p.stats.plannedStrategy) stats += '\nplanned: ' + p.stats.plannedStrategy;
   }

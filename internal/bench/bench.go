@@ -19,6 +19,7 @@
 //	E13 follow-up  cost-based planner: planner-chosen strategy/knobs vs hand-set defaults
 //	E14 follow-up  query lifecycle under load: QPS and p50/p95/p99 behind admission control
 //	E15 follow-up  certified dual bounds: LP bound-pass overhead + anytime early-exit savings
+//	E16 follow-up  band-aware bound tightening: legacy envelope vs staged pipeline on BETWEEN-heavy queries
 //
 // Each Run* prints an aligned table to cfg.Out; EXPERIMENTS.md records
 // the measured shapes against the paper's claims.
@@ -92,6 +93,7 @@ func RunAll(cfg Config) error {
 		{"E4", RunE4}, {"E5", RunE5}, {"E6", RunE6}, {"E7", RunE7},
 		{"E8", RunE8}, {"E9", RunE9}, {"E10", RunE10}, {"E11", RunE11},
 		{"E12", RunE12}, {"E13", RunE13}, {"E14", RunE14}, {"E15", RunE15},
+		{"E16", RunE16},
 	}
 	for _, s := range steps {
 		if err := s.fn(cfg); err != nil {
@@ -139,8 +141,10 @@ func Run(id string, cfg Config) error {
 		return RunE14(cfg)
 	case "e15", "E15":
 		return RunE15(cfg)
+	case "e16", "E16":
+		return RunE16(cfg)
 	}
-	return fmt.Errorf("bench: unknown experiment %q (f1, e1..e15, all)", id)
+	return fmt.Errorf("bench: unknown experiment %q (f1, e1..e16, all)", id)
 }
 
 // evalTimed runs a query under options and reports elapsed wall time.

@@ -37,6 +37,7 @@ package bound
 
 import (
 	"context"
+	"fmt"
 	"math"
 
 	"repro/internal/lp"
@@ -92,9 +93,40 @@ type Interval struct {
 
 // Gap returns the relative width of the interval,
 // |Found − Bound| / max(1, |Found|) — the certified relative
-// optimality gap when the interval is certified.
+// optimality gap when the interval is certified. The max(1, ·)
+// denominator keeps the figure meaningful when the objective is near
+// zero or flips sign across the interval: instead of dividing by ~0
+// (which would report an arbitrarily huge "relative" gap for a tiny
+// absolute one), the gap degrades to the interval's absolute width.
+// FormatGap renders that distinction explicitly.
 func (iv Interval) Gap() float64 {
 	return math.Abs(iv.Found-iv.Bound) / math.Max(1, math.Abs(iv.Found))
+}
+
+// FormatGap renders the certified gap for display — the one shared
+// helper every surface (FormatResult, the CLI, the HTTP stats and UI)
+// uses, so the figure is rounded the same way everywhere. With
+// |Found| ≥ 1 the gap is a true relative gap and renders as a
+// percentage; below that the max(1, |objective|) denominator clamps to
+// 1, the figure is really the interval's absolute width, and the
+// rendering says so instead of printing a misleading percent.
+func (iv Interval) FormatGap() string {
+	g := iv.Gap()
+	if math.Abs(iv.Found) >= 1 {
+		return fmt.Sprintf("%.2f%%", 100*g)
+	}
+	return fmt.Sprintf("%.4g abs (|objective| < 1)", g)
+}
+
+// FormatInterval renders the full certified statement,
+// "objective ∈ [lo, hi] (gap …)", with the endpoints ordered
+// regardless of sense.
+func (iv Interval) FormatInterval() string {
+	lo, hi := iv.Found, iv.Bound
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return fmt.Sprintf("objective ∈ [%.6g, %.6g] (gap %s)", lo, hi, iv.FormatGap())
 }
 
 // Pad inflates a dual bound by a relative numerical safety margin in

@@ -9,8 +9,12 @@ package bound_test
 // range groups). TestBoundSoundness1000 replays ≥1000 deterministic
 // generated systems spanning the lowered forms of the full atom
 // grammar (SUM/COUNT/AVG/filtered atoms, MIN/MAX exclusion and
-// at-least-one rows, equalities, disjunctions, pins, objective
-// constants) against the exact MILP and demands zero violations.
+// at-least-one rows, equalities, BETWEEN band pairs, disjunctions,
+// pins, objective constants) against the exact MILP and demands zero
+// violations. The same systems also run through the full tightening
+// pipeline (segment split + Lagrangian rounds + one-level descent)
+// over the coarse groups, with a gap-quantile gate the bare coarse
+// envelope does not meet — the regression tripwire for the stages.
 
 import (
 	"context"
@@ -285,6 +289,19 @@ func genBoundCase(rng *rand.Rand) boundCase {
 	if rng.Intn(2) == 0 {
 		base = append(base, atom())
 	}
+	if rng.Intn(3) == 0 {
+		// SUM(w) BETWEEN lo AND hi lowers to a GE/LE pair over one weight
+		// vector — the band rows the tightening stages exist for.
+		c.kinds["band"] = true
+		w := make([]float64, c.n)
+		for i := range w {
+			w[i] = float64(rng.Intn(80))
+		}
+		lo := float64(rng.Intn(120))
+		base = append(base,
+			&translate.LinearAtom{W: w, Op: lp.GE, RHS: lo},
+			&translate.LinearAtom{W: append([]float64(nil), w...), Op: lp.LE, RHS: lo + float64(30+rng.Intn(150))})
+	}
 	nb := 1
 	if rng.Intn(3) == 0 {
 		c.kinds["or"] = true
@@ -371,6 +388,37 @@ func groupBound(c boundCase, groups []bound.Group) (bound.Outcome, error) {
 	return bound.Best(c.sense, outs), nil
 }
 
+// pipelineBound runs the full tightening pipeline (segment split,
+// Lagrangian rounds, one-level descent) per branch over the coarse
+// grouping and merges — the tree-path bound the sketch engine ships
+// above the raw-candidate cap.
+func pipelineBound(c boundCase, coarse []bound.Group) bound.Outcome {
+	tupleLo := func(t int) float64 {
+		if c.pins[t] {
+			return 1
+		}
+		return 0
+	}
+	tupleHi := func(t int) float64 { return float64(c.maxMult) }
+	outs := make([]bound.Outcome, 0, len(c.branches))
+	for _, br := range c.branches {
+		split := bound.SplitGroups(coarse, c.objW, c.sense, 4*len(coarse), tupleLo, tupleHi)
+		pr := bound.RunPipeline(split, bound.PipelineOptions{
+			Ctx:           context.Background(),
+			Atoms:         br,
+			ObjW:          c.objW,
+			Konst:         c.konst,
+			Sense:         c.sense,
+			TightenRounds: bound.DefaultTightenRounds,
+			DescendBudget: c.n,
+			TupleLo:       tupleLo,
+			TupleHi:       tupleHi,
+		})
+		outs = append(outs, pr.Outcome)
+	}
+	return bound.Best(c.sense, outs)
+}
+
 // coarseGroups shuffles the candidates into 2-5 groups with Lo = pin
 // count and Hi = member count × maxMult, mimicking tree leaves.
 func coarseGroups(c boundCase, rng *rand.Rand) []bound.Group {
@@ -417,7 +465,7 @@ func TestBoundSoundness1000(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260808))
 	kinds := map[string]int{}
 	ran, feasible, infeasAgree := 0, 0, 0
-	var gaps []float64
+	var gaps, coarseGaps, pipeGaps []float64
 	for attempts := 0; ran < target && attempts < 4*target; attempts++ {
 		c := genBoundCase(rng)
 
@@ -445,10 +493,12 @@ func TestBoundSoundness1000(t *testing.T) {
 		if err != nil {
 			t.Fatalf("fine relax: %v", err)
 		}
-		coarse, err := groupBound(c, coarseGroups(c, rng))
+		cg := coarseGroups(c, rng)
+		coarse, err := groupBound(c, cg)
 		if err != nil {
 			t.Fatalf("coarse relax: %v", err)
 		}
+		pipe := pipelineBound(c, cg)
 
 		if exactFeasible {
 			feasible++
@@ -461,14 +511,29 @@ func TestBoundSoundness1000(t *testing.T) {
 				t.Fatalf("BOUND VIOLATION (grouped): exact %g beats certified bound %g (sense %v, case %d)",
 					exactObj, coarse.Bound, c.sense, ran)
 			}
+			if pipe.Certified && beats(c.sense, exactObj, pipe.Bound, tol) {
+				t.Fatalf("BOUND VIOLATION (pipeline): exact %g beats certified bound %g (sense %v, case %d)",
+					exactObj, pipe.Bound, c.sense, ran)
+			}
 			// At the linear-atom layer the relaxation's feasible set
 			// contains every integral package, so a certified-infeasible
 			// union with an exactly-feasible instance is a soundness bug.
-			if fine.Infeasible || coarse.Infeasible {
+			// The pipeline's stages only refine, so the same holds for it.
+			if fine.Infeasible || coarse.Infeasible || pipe.Infeasible {
 				t.Fatalf("relaxation claims infeasible but exact found %g (case %d)", exactObj, ran)
 			}
 			if fine.Certified {
 				gaps = append(gaps, bound.Interval{Found: exactObj, Bound: fine.Bound}.Gap())
+			}
+			if coarse.Certified && pipe.Certified {
+				// The pipeline starts from a refinement of the same coarse
+				// grouping, so it may never come back looser.
+				if beats(c.sense, pipe.Bound, coarse.Bound, tol) {
+					t.Fatalf("pipeline bound %g looser than its own coarse envelope %g (sense %v, case %d)",
+						pipe.Bound, coarse.Bound, c.sense, ran)
+				}
+				coarseGaps = append(coarseGaps, bound.Interval{Found: exactObj, Bound: coarse.Bound}.Gap())
+				pipeGaps = append(pipeGaps, bound.Interval{Found: exactObj, Bound: pipe.Bound}.Gap())
 			}
 		} else if fine.Infeasible {
 			infeasAgree++
@@ -477,7 +542,7 @@ func TestBoundSoundness1000(t *testing.T) {
 	if ran < target {
 		t.Fatalf("only %d of %d systems proved exactly", ran, target)
 	}
-	for _, k := range []string{"sum", "count", "avg", "min", "max", "filter", "eq", "or", "pin", "konst"} {
+	for _, k := range []string{"sum", "count", "avg", "min", "max", "filter", "eq", "or", "pin", "konst", "band"} {
 		if kinds[k] == 0 {
 			t.Errorf("atom kind %q never reached a proven head-to-head run", k)
 		}
@@ -504,5 +569,26 @@ func TestBoundSoundness1000(t *testing.T) {
 	}
 	if frac := float64(within50) / float64(len(gaps)); frac < 0.80 {
 		t.Errorf("only %.0f%% of certified singleton bounds within a 50%% gap (want >= 80%%)", 100*frac)
+	}
+	// Pipeline tightness gate, calibrated so the bare coarse envelope
+	// fails it: on the same coarse grouping the staged pipeline must pull
+	// a clear majority of certified gaps under 25%, a quantile the
+	// pre-pipeline envelopes never reached on this corpus.
+	if len(pipeGaps) == 0 {
+		t.Fatal("pipeline never certified a feasible head-to-head case")
+	}
+	cw25, pw25 := 0, 0
+	for i := range pipeGaps {
+		if coarseGaps[i] <= 0.25 {
+			cw25++
+		}
+		if pipeGaps[i] <= 0.25 {
+			pw25++
+		}
+	}
+	t.Logf("coarse-vs-pipeline certified gaps: %d pairs, within25%% coarse=%d pipeline=%d",
+		len(pipeGaps), cw25, pw25)
+	if frac := float64(pw25) / float64(len(pipeGaps)); frac < 0.60 {
+		t.Errorf("only %.0f%% of pipeline bounds within a 25%% gap (want >= 60%%): tightening stages regressed", 100*frac)
 	}
 }

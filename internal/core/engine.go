@@ -263,6 +263,8 @@ type Stats struct {
 	BoundValue         float64      // certified dual bound on the objective (valid when Certified)
 	Gap                float64      // certified relative gap |objective − BoundValue| / max(1, |objective|)
 	Certified          bool         // BoundValue provably brackets the exact optimum (internal/bound)
+	BoundStage         string       // deepest bound-pipeline stage that produced BoundValue (raw-lp, tree-lp, tree-lp+tighten, descend-1, milp-dual)
+	BoundTightenRounds int          // Lagrangian tightening rounds the bound pipeline spent
 	Elapsed            time.Duration
 	Notes              []string // strategy decisions, fallbacks, caveats
 	// Plan is the cost-based planner's decision trail for this

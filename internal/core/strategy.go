@@ -248,6 +248,7 @@ func (p *Prepared) run(ctx context.Context, opts Options) (*Result, error) {
 		res.Stats.BoundValue = res.Packages[0].Objective
 		res.Stats.Gap = 0
 		res.Stats.Certified = true
+		res.Stats.BoundStage = plan.BoundMILPDual
 	}
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
@@ -351,6 +352,16 @@ func (p *Prepared) runSketch(ctx context.Context, res *Result, opts Options, fet
 		left := opts.Timeout - time.Since(start)
 		return left, left > 0
 	}
+	// The planner's bound decision names the pipeline stage to run;
+	// non-sketch values (milp-dual, none) fall through to "" = the
+	// engine's full pipeline.
+	boundMode := ""
+	if res.Stats.Plan != nil {
+		switch res.Stats.Plan.Bound {
+		case plan.BoundRawLP, plan.BoundTreeLP, plan.BoundTreeLPTighten, plan.BoundDescend1:
+			boundMode = res.Stats.Plan.Bound
+		}
+	}
 	sres, err := sketch.Solve(p.Instance, sketch.Options{
 		Ctx:              ctx,
 		MaxPartitionSize: opts.SketchPartitionSize,
@@ -366,6 +377,7 @@ func (p *Prepared) runSketch(ctx context.Context, res *Result, opts Options, fet
 		Fingerprint:      fpPtr,
 		Patch:            patch,
 		GapTolerance:     opts.GapTolerance,
+		BoundMode:        boundMode,
 	})
 	if err != nil {
 		return nil, err
@@ -388,14 +400,19 @@ func (p *Prepared) runSketch(ctx context.Context, res *Result, opts Options, fet
 	res.Stats.BoundValue = sres.Bound
 	res.Stats.Gap = sres.Gap
 	res.Stats.Certified = sres.Certified
+	res.Stats.BoundStage = sres.BoundStage
+	res.Stats.BoundTightenRounds = sres.BoundRounds
 	res.Stats.Notes = append(res.Stats.Notes, sres.Notes...)
 	gapNote := "; objective gap unproven"
 	if sres.Certified {
-		lo, hi := sres.Objective, sres.Bound
-		if lo > hi {
-			lo, hi = hi, lo
+		iv := bound.Interval{Found: sres.Objective, Bound: sres.Bound, Certified: true}
+		gapNote = "; certified " + iv.FormatInterval()
+		if sres.BoundStage != "" {
+			gapNote += fmt.Sprintf(" via %s", sres.BoundStage)
+			if sres.BoundRounds > 0 {
+				gapNote += fmt.Sprintf(", %d tightening round(s)", sres.BoundRounds)
+			}
 		}
-		gapNote = fmt.Sprintf("; certified objective ∈ [%.6g, %.6g], gap %.2f%%", lo, hi, 100*sres.Gap)
 	}
 	res.Stats.Notes = append(res.Stats.Notes, fmt.Sprintf(
 		"sketch-refine: %d leaf partitions (τ bound), %d levels, %d top-level vars%s%s, %d active, %d refined, %d repaired%s",
@@ -644,6 +661,7 @@ func (p *Prepared) runSolver(ctx context.Context, res *Result, opts Options, fet
 			}
 			res.Stats.Certified = true
 			res.Stats.Gap = bound.Interval{Found: found, Bound: res.Stats.BoundValue}.Gap()
+			res.Stats.BoundStage = plan.BoundMILPDual
 		}
 		mult := model.Multiplicities(sol.X)
 		mults = append(mults, mult)

@@ -30,6 +30,7 @@ import (
 	"math"
 
 	"repro/internal/catalog"
+	"repro/internal/expr"
 	"repro/internal/paql"
 	"repro/internal/translate"
 )
@@ -81,10 +82,22 @@ const (
 	// BoundRawLP: LP relaxation over the raw candidates — the exact LP
 	// relaxation of the query's MILP, the tightest bound an LP gives.
 	BoundRawLP = "raw-lp"
-	// BoundTreeLP: LP relaxation over the partition-tree leaves, with
-	// per-leaf coefficient ranges; one variable per leaf keeps the
-	// bound pass tiny at any scale.
+	// BoundTreeLP: LP relaxation over the partition-tree leaves, each
+	// leaf split into objective-sorted segments (piecewise-linear
+	// columns); a handful of variables per leaf keeps the bound pass
+	// tiny at any scale.
 	BoundTreeLP = "tree-lp"
+	// BoundTreeLPTighten: the tree relaxation plus a few rounds of
+	// subgradient Lagrangian tightening on the rows the LP leaves tight
+	// or violated — what band (BETWEEN/equality) rows need, since the
+	// grouped envelope is loosest on paired ≤/≥ rows.
+	BoundTreeLPTighten = "tree-lp+tighten"
+	// BoundDescend1: the full pipeline — the tightened tree relaxation
+	// plus an adaptive one-level descent that re-bounds the
+	// worst-contributing leaves as singleton columns when the gap is
+	// still too wide. The anytime mode's pick: tightest certificate
+	// short of the raw LP.
+	BoundDescend1 = "descend-1"
 	// BoundMILPDual: the exact solver's own branch-and-bound dual bound
 	// (gap 0 when it proves optimality).
 	BoundMILPDual = "milp-dual"
@@ -111,6 +124,11 @@ type AtomMix struct {
 	SumCount int `json:"sumCountAtoms"`
 	Avg      int `json:"avgAtoms"`
 	MinMax   int `json:"minMaxAtoms"`
+	// Bands counts band-shaped SUCH THAT atoms — BETWEEN ranges and
+	// equality comparisons — which lower to paired ≤/≥ rows the grouped
+	// envelope relaxation is loosest on. The bound decision escalates
+	// to the tightening stages when they are present.
+	Bands int `json:"bandAtoms,omitempty"`
 	// Objective reports whether the query optimizes an objective — a
 	// feasibility-only query has nothing to bound, so the bound
 	// decision keys on this.
@@ -124,6 +142,18 @@ type AtomMix struct {
 func AnalyzeAtoms(a *paql.Analysis, sketchErr error) AtomMix {
 	m := AtomMix{Linear: a.Linear, NonlinearReasons: a.NonlinearReasons,
 		Objective: a.Query != nil && a.Query.Objective != nil}
+	if a.Query != nil && a.Query.SuchThat != nil {
+		expr.Walk(a.Query.SuchThat, func(e expr.Expr) {
+			switch n := e.(type) {
+			case *expr.Between:
+				m.Bands++
+			case *expr.Binary:
+				if n.Op == expr.OpEq {
+					m.Bands++
+				}
+			}
+		})
+	}
 	for _, agg := range a.Aggs {
 		switch agg.Fn {
 		case "AVG":
@@ -260,7 +290,9 @@ type Plan struct {
 	MemoryBytes int64 `json:"memoryBytes,omitempty"`
 	// Bound names the dual-bound pass the evaluation will run to
 	// certify its objective interval (BoundRawLP, BoundTreeLP,
-	// BoundMILPDual, or BoundNone).
+	// BoundTreeLPTighten, BoundDescend1, BoundMILPDual, or BoundNone).
+	// Sketch evaluations feed it to the bound pipeline as the deepest
+	// stage to run.
 	Bound string `json:"bound,omitempty"`
 	// Decisions is the ordered decision trail.
 	Decisions []Decision `json:"decisions"`

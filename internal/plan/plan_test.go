@@ -293,7 +293,8 @@ atoms: linear; 2 sum/count; 1 branch
 ├─ tree-source = build
 │      no cached, persisted, or patchable tree: full offline build
 ├─ bound = tree-lp  [cost ≈ 1.56e+03]
-│      LP relaxation over ~1563 partition leaves (envelope coefficient ranges), 1 branch(es)
+│      LP relaxation over ~1563 partition leaves (objective-sorted segments), 1 branch(es); no band atoms to tighten
+│      rejected: tree-lp+tighten ≈ 7.82e+03
 └─ memory = 3.1 MB
        predicted peak working set for sketch-refine over 100000 candidates (2 atoms)
 `

@@ -95,12 +95,17 @@ func (pl *Planner) pickMemory(p *Plan, in Input, strat string, tau, depth int) {
 
 // pickBound records which dual-bound pass will certify the objective
 // interval (internal/bound): the exact solver proves its own
-// branch-and-bound bound, the sketch path solves one LP per DNF branch
-// — over the raw candidates while they are few, over the partition
-// leaves beyond that — and strategies without a relaxation leave the
-// gap unproven. The cost estimate is the relaxation's variable count
-// times the branch count (one simplex solve each, a rounding error
-// next to any descent).
+// branch-and-bound bound; the sketch path runs the staged bound
+// pipeline per DNF branch — the exact LP relaxation over the raw
+// candidates while they are few, the segmented tree relaxation beyond
+// that, escalated to Lagrangian tightening when band (BETWEEN or
+// equality) rows are present and to the adaptive one-level descent
+// when the anytime mode needs the tightest certificate it can get.
+// Strategies without a relaxation leave the gap unproven. The cost
+// estimate is the relaxation's variable count times the branch count
+// per solve: tightening re-solves the inner LP once per round, and the
+// descent adds one refined solve over the extra singleton columns — in
+// every case a rounding error next to the descent itself.
 func (pl *Planner) pickBound(p *Plan, in Input, strat string, tau int) {
 	cm := pl.Cost
 	d := Decision{Name: "bound"}
@@ -108,6 +113,13 @@ func (pl *Planner) pickBound(p *Plan, in Input, strat string, tau int) {
 	if branches < 1 {
 		branches = 1
 	}
+	leaves := (in.N + tau - 1) / tau
+	// One pipeline stage per rung; costs model LP solves: the base tree
+	// LP, +1 solve per tightening round, +1 refined solve with the
+	// descent's extra columns.
+	treeC := float64(leaves * branches)
+	tightenC := treeC * float64(1+boundTightenRounds)
+	descendC := tightenC + float64((leaves+boundDescendVars)*branches)
 	switch {
 	case !in.Mix.Objective:
 		d.Value = BoundNone
@@ -122,11 +134,21 @@ func (pl *Planner) pickBound(p *Plan, in Input, strat string, tau int) {
 		d.Value = BoundRawLP
 		d.Cost = float64(in.N * branches)
 		d.Reason = fmt.Sprintf("%d candidates ≤ %d: the exact LP relaxation is affordable and tightest", in.N, cm.SketchThreshold)
+	case in.Forced.GapTolerance > 0:
+		d.Value = BoundDescend1
+		d.Cost = descendC
+		d.Reason = fmt.Sprintf("anytime mode over ~%d leaves: full pipeline (segments, %d Lagrangian rounds, one-level descent) buys the tightest certificate", leaves, boundTightenRounds)
+		d.Alternatives = []Alternative{{Value: BoundTreeLPTighten, Cost: tightenC}, {Value: BoundTreeLP, Cost: treeC}}
+	case in.Mix.Bands > 0:
+		d.Value = BoundTreeLPTighten
+		d.Cost = tightenC
+		d.Reason = fmt.Sprintf("%d band atom(s) (BETWEEN/equality): %d Lagrangian rounds tighten the paired-row envelopes over ~%d leaves", in.Mix.Bands, boundTightenRounds, leaves)
+		d.Alternatives = []Alternative{{Value: BoundTreeLP, Cost: treeC}, {Value: BoundDescend1, Cost: descendC}}
 	default:
-		leaves := (in.N + tau - 1) / tau
 		d.Value = BoundTreeLP
-		d.Cost = float64(leaves * branches)
-		d.Reason = fmt.Sprintf("LP relaxation over ~%d partition leaves (envelope coefficient ranges), %d branch(es)", leaves, branches)
+		d.Cost = treeC
+		d.Reason = fmt.Sprintf("LP relaxation over ~%d partition leaves (objective-sorted segments), %d branch(es); no band atoms to tighten", leaves, branches)
+		d.Alternatives = []Alternative{{Value: BoundTreeLPTighten, Cost: tightenC}}
 	}
 	if in.Forced.GapTolerance > 0 && d.Value != BoundNone {
 		d.Forced = true
@@ -135,6 +157,14 @@ func (pl *Planner) pickBound(p *Plan, in Input, strat string, tau int) {
 	p.Bound = d.Value
 	p.Decisions = append(p.Decisions, d)
 }
+
+// boundTightenRounds and boundDescendVars mirror the sketch engine's
+// pipeline budgets (bound.DefaultTightenRounds, its descent variable
+// budget) for costing only — plan deliberately imports neither package.
+const (
+	boundTightenRounds = 4
+	boundDescendVars   = 4096
+)
 
 // formatBytes renders a byte count with a binary-ish unit for the
 // decision trail (the same rendering lifecycle's budget errors use).

@@ -1,8 +1,35 @@
 package sketch
 
+import (
+	"repro/internal/bound"
+	"repro/internal/search"
+	"repro/internal/translate"
+)
+
 // ParallelForTest exposes the scheduling helper to the external test
 // package.
 var ParallelForTest = parallelFor
+
+// RawLPBoundForTest computes the exact LP-relaxation bound over the raw
+// candidates of the instance's first DNF branch, sidestepping
+// rawBoundCap — the tightness yardstick the bound tests compare the
+// tree pipeline against.
+func RawLPBoundForTest(inst *search.Instance) (bound.Outcome, error) {
+	branches, _, err := translate.CompileSketch(inst.Analysis, MaxBranches)
+	if err != nil {
+		return bound.Outcome{}, err
+	}
+	ba, err := newBranchAtoms(nil, inst, branches[0])
+	if err != nil {
+		return bound.Outcome{}, err
+	}
+	groups := bound.Candidates(len(inst.Rows), inst.MaxMult, nil)
+	p, err := bound.Relax(ba.tuple, inst.ObjW, objSense(inst), groups)
+	if err != nil {
+		return bound.Outcome{}, err
+	}
+	return bound.Solve(nil, p, inst.ObjK), nil
+}
 
 // SetRenameHook swaps the store's rename step for fault injection
 // (crash-mid-resave tests); it returns a restore function.

@@ -14,9 +14,9 @@ package sketch_test
 //     must not beat it.
 //
 // The generator covers the whole atom grammar the sketch engine claims
-// — SUM/COUNT/AVG/MIN/MAX atoms, filtered aggregates, disjunctions,
-// REPEAT, NULLs, and pins — so any lowering bug that breaks soundness
-// shows up as a feasibility disagreement here. FuzzSketchVsExact
+// — SUM/COUNT/AVG/MIN/MAX atoms, BETWEEN bands, filtered aggregates,
+// disjunctions, REPEAT, NULLs, and pins — so any lowering bug that
+// breaks soundness shows up as a feasibility disagreement here. FuzzSketchVsExact
 // explores byte-driven mutations; TestDifferentialSketchVsExact1000
 // replays a fixed pseudo-random corpus (≥1000 queries in full runs) so
 // CI exercises the same checks deterministically on every push.
@@ -62,7 +62,7 @@ func (g *qgen) intn(n int) int {
 // genCase is one generated differential instance.
 type genCase struct {
 	queryText string
-	kinds     map[string]bool // atom kinds used: sum, count, avg, min, max, or, filter
+	kinds     map[string]bool // atom kinds used: sum, count, avg, min, max, or, filter, band
 	repeat    int
 	pin       bool
 }
@@ -85,7 +85,7 @@ func genQuery(g *qgen) (ddl []string, gc genCase) {
 
 	atom := func() string {
 		ops := []string{"<=", ">=", "<", ">"}
-		switch g.intn(8) {
+		switch g.intn(10) {
 		case 0:
 			gc.kinds["count"] = true
 			return fmt.Sprintf("COUNT(*) %s %d", []string{"<=", ">=", "="}[g.intn(3)], 1+g.intn(5))
@@ -109,6 +109,17 @@ func genQuery(g *qgen) (ddl []string, gc genCase) {
 			gc.kinds["count"] = true
 			gc.kinds["filter"] = true
 			return fmt.Sprintf("COUNT(* WHERE P.b >= %d) %s %d", g.intn(40), []string{"<=", ">="}[g.intn(2)], g.intn(4))
+		case 7:
+			// A band on a signed sum: the atom shape the tightening
+			// pipeline targets (lowered to a GE/LE pair over one weight
+			// vector).
+			gc.kinds["band"] = true
+			lo := g.intn(160) - 40
+			return fmt.Sprintf("SUM(P.a) BETWEEN %d AND %d", lo, lo+20+g.intn(120))
+		case 8:
+			gc.kinds["band"] = true
+			lo := 1 + g.intn(3)
+			return fmt.Sprintf("COUNT(*) BETWEEN %d AND %d", lo, lo+g.intn(4))
 		default:
 			gc.kinds["sum"] = true
 			return fmt.Sprintf("SUM(P.b) %s %d", ops[g.intn(4)], g.intn(200))
@@ -283,6 +294,8 @@ func FuzzSketchVsExact(f *testing.F) {
 	f.Add([]byte("repeat-and-pins"))
 	f.Add([]byte{128, 64, 32, 16, 8, 4, 2, 1})
 	f.Add([]byte("sum where filter over nulls"))
+	f.Add([]byte("between bands on sums"))
+	f.Add([]byte{0, 7, 0, 7, 0, 8, 0, 7, 0, 8, 11, 215, 96, 4})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var st diffStats
 		diffOne(t, &qgen{data: data}, &st)
@@ -322,7 +335,7 @@ func TestDifferentialSketchVsExact1000(t *testing.T) {
 	if st.ran < target {
 		t.Fatalf("only %d of %d generated queries ran head-to-head (%d attempts)", st.ran, target, attempts)
 	}
-	for _, k := range []string{"sum", "count", "avg", "min", "max", "or", "filter"} {
+	for _, k := range []string{"sum", "count", "avg", "min", "max", "or", "filter", "band"} {
 		if kinds[k] == 0 {
 			t.Errorf("atom kind %q never survived to a head-to-head run", k)
 		}
@@ -367,21 +380,27 @@ func TestDifferentialSketchVsExact1000(t *testing.T) {
 	if st.certified == 0 {
 		t.Fatal("no result carried a certified interval; the bound engine never engaged")
 	}
-	for _, k := range []string{"sum", "count", "avg", "min", "max", "or", "filter"} {
+	for _, k := range []string{"sum", "count", "avg", "min", "max", "or", "filter", "band"} {
 		if certKinds[k] == 0 {
 			t.Errorf("atom kind %q never produced a certified interval", k)
 		}
 	}
 	if n := len(st.certGaps); n > 0 {
-		within100 := 0
+		within25, within100 := 0, 0
 		for _, g := range st.certGaps {
+			if g <= 0.25 {
+				within25++
+			}
 			if g <= 1.0 {
 				within100++
 			}
 		}
-		t.Logf("certified gaps: %d total, %d within 100%%", n, within100)
+		t.Logf("certified gaps: %d total, %d within 25%%, %d within 100%%", n, within25, within100)
 		if frac := float64(within100) / float64(n); frac < 0.60 {
 			t.Errorf("only %.0f%% of certified gaps within 100%% (want >= 60%%): bounds got uselessly loose", 100*frac)
+		}
+		if frac := float64(within25) / float64(n); frac < 0.50 {
+			t.Errorf("only %.0f%% of certified gaps within 25%% (want >= 50%%): certificate tightness regressed", 100*frac)
 		}
 	}
 }

@@ -164,6 +164,14 @@ type Options struct {
 	// default) still computes and reports the certified interval but
 	// never changes what is descended.
 	GapTolerance float64
+	// BoundMode, when set, pins how deep the certified-bound pipeline
+	// runs on branches above the raw-candidate cap: bound.StageTreeLP
+	// (segmented leaf columns, no tightening), bound.StageTightened
+	// (adds the Lagrangian rounds), bound.StageDescend (adds the
+	// adaptive one-level descent), or BoundModeEnvelope (the legacy
+	// unsegmented per-leaf envelope, kept for comparison runs). Empty
+	// runs the full pipeline. The planner's bound decision feeds this.
+	BoundMode string
 	// forceRebuild bypasses the cache, store, and patch lookups and
 	// builds fresh, overwriting both tiers. Set internally by Solve's
 	// patched-infeasible retry: a patched tree that yields no feasible
@@ -216,28 +224,34 @@ const MaxBranches = translate.DefaultMaxSketchBranches
 
 // Result is a SketchRefine outcome.
 type Result struct {
-	Mult         []int   // multiplicity per candidate
-	Objective    float64 // objective of Mult (0 when the query has none)
-	Feasible     bool    // Mult satisfies the full SUCH THAT formula (and pins)
-	Bound        float64 // certified dual bound on the objective (valid when Certified)
-	Gap          float64 // certified relative gap |Objective − Bound| / max(1, |Objective|)
-	Certified    bool    // Bound provably brackets the exact optimum (see internal/bound)
-	Partitions   int     // leaf partitions produced by the offline step
-	Levels       int     // partition-tree levels used (1 = flat)
-	TopVars      int     // variables in the top-level sketch MILP
-	Branches     int     // DNF branches descended (1 = conjunctive formula)
-	AtomRewrites int     // AVG/MIN/MAX atoms rewritten into sketchable rows
-	CacheHit     bool    // partition tree served from the cache
-	TreeLoaded   bool    // partition tree loaded from the on-disk store
-	TreePatched  bool    // stale tree patched in place via ApplyDelta
-	Coalesced    bool    // tree acquisition joined another solve's in-flight build
-	DeltaApplied int     // tuples the patch inserted plus deleted
-	Workers      int     // workers the parallel phases fanned out across
-	Active       int     // leaf partitions the sketch solution touched
-	Refined      int     // partitions refined via their sub-MILP
-	Repaired     int     // partitions that fell back to greedy repair
-	Nodes        int64   // branch-and-bound nodes across all solves
-	LPIters      int     // simplex iterations across all solves
+	Mult        []int   // multiplicity per candidate
+	Objective   float64 // objective of Mult (0 when the query has none)
+	Feasible    bool    // Mult satisfies the full SUCH THAT formula (and pins)
+	Bound       float64 // certified dual bound on the objective (valid when Certified)
+	Gap         float64 // certified relative gap |Objective − Bound| / max(1, |Objective|)
+	Certified   bool    // Bound provably brackets the exact optimum (see internal/bound)
+	BoundStage  string  // deepest bound-pipeline stage reached across branches (bound.Stage*)
+	BoundRounds int     // Lagrangian tightening rounds spent across all branch bounds
+	// BoundTime is the wall time the certified-bound passes cost
+	// (every branchBound call), so benchmarks can report the bound's
+	// share of the solve without re-deriving it.
+	BoundTime    time.Duration
+	Partitions   int   // leaf partitions produced by the offline step
+	Levels       int   // partition-tree levels used (1 = flat)
+	TopVars      int   // variables in the top-level sketch MILP
+	Branches     int   // DNF branches descended (1 = conjunctive formula)
+	AtomRewrites int   // AVG/MIN/MAX atoms rewritten into sketchable rows
+	CacheHit     bool  // partition tree served from the cache
+	TreeLoaded   bool  // partition tree loaded from the on-disk store
+	TreePatched  bool  // stale tree patched in place via ApplyDelta
+	Coalesced    bool  // tree acquisition joined another solve's in-flight build
+	DeltaApplied int   // tuples the patch inserted plus deleted
+	Workers      int   // workers the parallel phases fanned out across
+	Active       int   // leaf partitions the sketch solution touched
+	Refined      int   // partitions refined via their sub-MILP
+	Repaired     int   // partitions that fell back to greedy repair
+	Nodes        int64 // branch-and-bound nodes across all solves
+	LPIters      int   // simplex iterations across all solves
 	Notes        []string
 	Elapsed      time.Duration
 	// patchedAny records that any tree this solve descended carries
@@ -339,13 +353,28 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 	// both the reported interval and the anytime early exit.
 	wantBound := inst.Analysis.Query.Objective != nil && inst.ObjW != nil
 	var merged bound.Outcome
+	// recordBound folds a pass's per-branch pipeline results into the
+	// union bound and the Result's stage/round stats (stage keeps the
+	// deepest seen; rounds stay cumulative across the parity retry, like
+	// Nodes/LPIters — they measure real work done).
+	recordBound := func(prs []bound.PipelineResult) {
+		var stage string
+		var rounds int
+		merged, stage, rounds = mergeBranchBounds(objSense(inst), prs)
+		if boundStageRank(stage) > boundStageRank(res.BoundStage) {
+			res.BoundStage = stage
+		}
+		res.BoundRounds += rounds
+	}
 	for pass := 0; ; pass++ {
 		best, fallback, last = nil, nil, nil
-		var outs []bound.Outcome
+		var prs []bound.PipelineResult
 		// Anytime pre-pass: with a gap tolerance and several branches,
 		// bound every branch up front (cheap LPs over leaves or raw
 		// candidates) so the descent loop below can stop as soon as an
-		// incumbent is provably within tolerance of the union bound.
+		// incumbent is provably within tolerance of the union bound. No
+		// incumbent exists yet, so the pipeline runs every allowed stage
+		// — the tightest certificate it can produce.
 		prebounded := false
 		if wantBound && opts.GapTolerance > 0 && len(branches) > 1 {
 			for _, br := range branches {
@@ -353,13 +382,15 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				out, err := branchBound(inst, ba, exAtoms, pins, trees, opts)
+				bt := time.Now()
+				pr, err := branchBound(inst, ba, exAtoms, pins, trees, opts, nanIncumbent, false)
+				res.BoundTime += time.Since(bt)
 				if err != nil {
 					return nil, err
 				}
-				outs = append(outs, out)
+				prs = append(prs, pr)
 			}
-			merged = bound.Best(objSense(inst), outs)
+			recordBound(prs)
 			prebounded = true
 		}
 		for bi, br := range branches {
@@ -378,13 +409,6 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 			ba, err := newBranchAtoms(opts.Ctx, inst, br)
 			if err != nil {
 				return nil, err
-			}
-			if wantBound && !prebounded {
-				out, err := branchBound(inst, ba, exAtoms, pins, trees, opts)
-				if err != nil {
-					return nil, err
-				}
-				outs = append(outs, out)
 			}
 			bres := &Result{}
 			last = bres
@@ -411,9 +435,26 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 			} else if fallback == nil && bres.Mult != nil {
 				fallback = bres
 			}
+			if wantBound && !prebounded {
+				// Bound after the descent, not before: the best objective
+				// so far is an incumbent the pipeline can measure its gap
+				// against, stopping stage escalation as soon as the
+				// certificate is tight enough (Options.GapTolerance).
+				incumbent, has := nanIncumbent, false
+				if best != nil {
+					incumbent, has = best.Objective, true
+				}
+				bt := time.Now()
+				pr, err := branchBound(inst, ba, exAtoms, pins, trees, opts, incumbent, has)
+				res.BoundTime += time.Since(bt)
+				if err != nil {
+					return nil, err
+				}
+				prs = append(prs, pr)
+			}
 		}
 		if wantBound && !prebounded {
-			merged = bound.Best(objSense(inst), outs)
+			recordBound(prs)
 		}
 		if best != nil || pass > 0 || !res.patchedAny {
 			break

@@ -94,6 +94,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/bound"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/explore"
@@ -477,11 +478,19 @@ func FormatResult(w io.Writer, sys *System, res *Result) {
 	fmt.Fprintf(w, "strategy=%s exact=%v candidates=%d bounds=%s elapsed=%s\n",
 		st.Strategy, st.Exact, st.Candidates, st.Bounds, st.Elapsed.Round(time.Microsecond))
 	if st.Certified && len(res.Packages) > 0 && res.Query.Objective != nil {
-		lo, hi := res.Packages[0].Objective, st.BoundValue
-		if lo > hi {
-			lo, hi = hi, lo
+		// bound.Interval.FormatInterval is the one shared gap renderer
+		// (the CLI and the HTTP server reuse it), so every surface rounds
+		// — and handles the |objective| < 1 denominator clamp — the same
+		// way.
+		iv := bound.Interval{Found: res.Packages[0].Objective, Bound: st.BoundValue, Certified: true}
+		fmt.Fprintf(w, "certified: %s", iv.FormatInterval())
+		if st.BoundStage != "" {
+			fmt.Fprintf(w, " via %s", st.BoundStage)
+			if st.BoundTightenRounds > 0 {
+				fmt.Fprintf(w, ", %d tightening round(s)", st.BoundTightenRounds)
+			}
 		}
-		fmt.Fprintf(w, "certified: objective ∈ [%.6g, %.6g] (gap %.2f%%)\n", lo, hi, 100*st.Gap)
+		fmt.Fprintln(w)
 	}
 	if st.SpaceFull != nil && st.SpacePruned != nil {
 		fmt.Fprintf(w, "search space: %s of %s candidate packages after §4.1 pruning\n",
