@@ -76,6 +76,7 @@ import (
 
 	pb "repro"
 	"repro/internal/dataset"
+	"repro/internal/sketch"
 )
 
 type multiFlag []string
@@ -135,6 +136,17 @@ func main() {
 	for _, spec := range gens {
 		if err := generate(sys, spec); err != nil {
 			fail("generate %s: %v", spec, err)
+		}
+	}
+
+	if *sketchDir != "" {
+		// Constructing the store sweeps orphaned temp files a crashed
+		// earlier run may have left behind, so they never block saves.
+		st := sketch.NewStore(*sketchDir)
+		if n, err := st.SweepResult(); err != nil {
+			fmt.Fprintf(os.Stderr, "paql: sketch-dir sweep: %v\n", err)
+		} else if n > 0 {
+			fmt.Fprintf(os.Stderr, "paql: swept %d orphaned temp file(s) from %s\n", n, *sketchDir)
 		}
 	}
 
@@ -220,6 +232,7 @@ exit codes (one-shot; REPL error lines carry the same labels):
   2  infeasible  provably no package satisfies the query
   3  canceled    Ctrl-C, or the deadline expired empty-handed
   4  budget      -mem-budget refused the query at admission
+  5  internal    the solve failed unexpectedly (recovered panic)
 `
 
 // outcome maps an evaluation error onto the CLI's documented outcome
@@ -234,6 +247,8 @@ func outcome(err error) (int, string) {
 		return 3, "canceled"
 	case errors.Is(err, pb.ErrBudgetExceeded):
 		return 4, "budget"
+	case errors.Is(err, pb.ErrInternal):
+		return 5, "internal"
 	}
 	return 1, "error"
 }

@@ -20,7 +20,9 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -78,9 +80,46 @@ type server struct {
 	// every solve (-mem-budget, -timeout); zero disables each.
 	memBudget int64
 	timeout   time.Duration
+	// health is the per-subsystem degradation registry behind /healthz:
+	// solves that took a degradation-ladder rung report the subsystem,
+	// a fully clean solve clears the board.
+	health *lifecycle.Health
 
 	mu  sync.RWMutex
 	ses *explore.Session // one demo session, like the booth kiosk
+}
+
+// Request IDs: a per-process salt plus an atomic counter, echoed in the
+// X-Request-Id header and in every error body so a client-reported
+// failure can be matched to exactly one server log line.
+var (
+	reqSalt uint64
+	reqSeq  atomic.Uint64
+)
+
+func init() {
+	reqSalt = uint64(time.Now().UnixNano())
+	// splitmix-style finalizer so consecutive restarts don't share a prefix.
+	reqSalt ^= reqSalt >> 30
+	reqSalt *= 0xbf58476d1ce4e5b9
+	reqSalt ^= reqSalt >> 27
+}
+
+func newRequestID() string {
+	return fmt.Sprintf("%08x-%d", uint32(reqSalt), reqSeq.Add(1))
+}
+
+type ctxKey int
+
+const reqIDKey ctxKey = iota
+
+// requestID returns the request's ID, minting one for requests that did
+// not pass through the middleware (direct handler calls in tests).
+func requestID(r *http.Request) string {
+	if id, ok := r.Context().Value(reqIDKey).(string); ok {
+		return id
+	}
+	return newRequestID()
 }
 
 // newServer builds a server over a loaded database with an empty
@@ -90,7 +129,45 @@ type server struct {
 func newServer(db *minidb.DB, persistDir string, incremental bool) *server {
 	return &server{db: db, cache: sketch.NewCache(0), memo: core.NewFingerprintMemo(),
 		persistDir: persistDir, incremental: incremental, cat: catalog.New(db),
-		adm: lifecycle.NewController(4, 16)}
+		adm: lifecycle.NewController(4, 16), health: lifecycle.NewHealth()}
+}
+
+// withRequest is the outermost middleware: it mints the request ID,
+// echoes it in the X-Request-Id header, and converts a handler panic
+// into a logged 500 with a typed body instead of a killed connection.
+func (s *server) withRequest(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := newRequestID()
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), reqIDKey, id))
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.httpErr(w, r, lifecycle.Internal(fmt.Errorf("panic: %v", rec)))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// noteHealth folds one solve's outcome into the health registry: each
+// "subsystem: detail" degradation reason marks its subsystem not-OK,
+// and a fully clean solve clears the whole board (one healthy
+// end-to-end query exercises the main path).
+func (s *server) noteHealth(stats *core.Stats) {
+	if stats == nil {
+		return
+	}
+	if !stats.Degraded {
+		s.health.ClearAll()
+		return
+	}
+	for _, reason := range stats.DegradedReasons {
+		sub, detail, ok := strings.Cut(reason, ": ")
+		if !ok {
+			sub, detail = "engine", reason
+		}
+		s.health.Report(sub, detail)
+	}
 }
 
 // session returns the current exploration session or an error when no
@@ -125,6 +202,16 @@ func main() {
 	s.adm = lifecycle.NewController(*maxInFlight, *maxQueue)
 	s.memBudget = *memBudget
 	s.timeout = *timeout
+	if *sketchDir != "" {
+		// Constructing the store sweeps orphaned temp files a previous
+		// crashed process may have left in the directory.
+		st := sketch.NewStore(*sketchDir)
+		if n, err := st.SweepResult(); err != nil {
+			log.Printf("pbserver: sketch-dir sweep: %v", err)
+		} else if n > 0 {
+			log.Printf("pbserver: swept %d orphaned temp file(s) from %s", n, *sketchDir)
+		}
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -134,13 +221,15 @@ func main() {
 	mux.HandleFunc("/api/suggest", s.handleSuggest)
 	mux.HandleFunc("/api/summary", s.handleSummary)
 	mux.HandleFunc("/api/lifecycle", s.handleLifecycle)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	fmt.Fprintf(os.Stderr, "PackageBuilder meal planner on http://localhost%s (%d recipes)\n", *addr, *n)
 	// A hardened server: a slow or hostile client cannot hold a
 	// connection (and its handler goroutine) open indefinitely, and
 	// request bodies are capped before they reach the JSON decoders.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           http.MaxBytesHandler(mux, maxBodyBytes),
+		Handler:           s.withRequest(http.MaxBytesHandler(mux, maxBodyBytes)),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -163,6 +252,14 @@ func main() {
 		stop() // restore default signal behavior: second signal kills
 		log.Printf("pbserver: shutdown signal — draining for up to %s", *drain)
 		s.adm.BeginDrain()
+		// Readiness grace: Shutdown closes the listener (and idle
+		// keep-alives) immediately, so /readyz could never serve its
+		// 503. Keep the listener up briefly — admission is already
+		// shedding solves — so load-balancer readiness probes observe
+		// not-ready and stop routing before connections start failing.
+		if grace := min(*drain/5, 2*time.Second); grace > 0 {
+			time.Sleep(grace)
+		}
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
@@ -249,6 +346,10 @@ func (s *server) packageJSON(ses *explore.Session, p *core.Package, stats *core.
 		if stats.Plan != nil {
 			out.Stats["plannedStrategy"] = stats.Plan.Strategy
 		}
+		out.Stats["degraded"] = stats.Degraded
+		if stats.Degraded {
+			out.Stats["degradedReason"] = strings.Join(stats.DegradedReasons, "; ")
+		}
 	}
 	return out
 }
@@ -266,7 +367,7 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 func (s *server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
 	release, err := s.adm.Acquire(r.Context())
 	if err != nil {
-		s.httpErr(w, err)
+		s.httpErr(w, r, err)
 		return nil, false
 	}
 	return release, true
@@ -282,7 +383,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Explain     bool   `json:"explain"`     // plan only: return the decision trail, don't execute
 	}
 	if err := decodeJSON(w, r, &req); err != nil {
-		s.httpErr(w, err)
+		s.httpErr(w, r, err)
 		return
 	}
 	incremental := s.incremental
@@ -302,7 +403,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Strategy != "" {
 		st, err := core.ParseStrategy(req.Strategy)
 		if err != nil {
-			s.httpErr(w, err)
+			s.httpErr(w, r, err)
 			return
 		}
 		opts.Strategy = st
@@ -310,7 +411,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Explain {
 		prep, err := core.PrepareContext(r.Context(), s.db, req.Query)
 		if err != nil {
-			s.httpErr(w, err)
+			s.httpErr(w, r, err)
 			return
 		}
 		prep.SketchCache = s.cache
@@ -330,13 +431,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ses, err := explore.NewSessionContext(r.Context(), s.db, req.Query, opts)
 	if err != nil {
-		s.httpErr(w, err)
+		s.httpErr(w, r, err)
 		return
 	}
 	if _, err := ses.RefreshContext(r.Context()); err != nil {
-		s.httpErr(w, err)
+		s.httpErr(w, r, err)
 		return
 	}
+	s.noteHealth(ses.Stats())
 	// Render before publishing: once s.ses is swapped, concurrent
 	// replace/pin handlers may mutate the session, so it must not be
 	// read lock-free after this point.
@@ -356,13 +458,14 @@ func (s *server) handleReplace(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.ses == nil {
-		s.httpErr(w, fmt.Errorf("no active query"))
+		s.httpErr(w, r, fmt.Errorf("no active query"))
 		return
 	}
 	if _, err := s.ses.ReplaceContext(r.Context()); err != nil {
-		s.httpErr(w, err)
+		s.httpErr(w, r, err)
 		return
 	}
+	s.noteHealth(s.ses.Stats())
 	writeJSON(w, s.packageJSON(s.ses, s.ses.Current(), s.ses.Stats()))
 }
 
@@ -372,13 +475,13 @@ func (s *server) handlePin(w http.ResponseWriter, r *http.Request) {
 		Unpin bool `json:"unpin"`
 	}
 	if err := decodeJSON(w, r, &req); err != nil {
-		s.httpErr(w, err)
+		s.httpErr(w, r, err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.ses == nil {
-		s.httpErr(w, fmt.Errorf("no active query"))
+		s.httpErr(w, r, fmt.Errorf("no active query"))
 		return
 	}
 	if req.Unpin {
@@ -388,7 +491,7 @@ func (s *server) handlePin(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	} else if err := s.ses.PinRowID(req.RowID); err != nil {
-		s.httpErr(w, err)
+		s.httpErr(w, r, err)
 		return
 	}
 	writeJSON(w, map[string]any{"pinned": s.ses.Pinned()})
@@ -397,7 +500,7 @@ func (s *server) handlePin(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	ses, err := s.session()
 	if err != nil {
-		s.httpErr(w, err)
+		s.httpErr(w, r, err)
 		return
 	}
 	col := r.URL.Query().Get("column")
@@ -405,10 +508,41 @@ func (s *server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	// runs without the lock or an admission slot, like handlePin.
 	sugg, err := ses.Suggest(explore.Highlight{Column: col, Row: -1})
 	if err != nil {
-		s.httpErr(w, err)
+		s.httpErr(w, r, err)
 		return
 	}
 	writeJSON(w, sugg)
+}
+
+// handleHealthz reports per-subsystem degradation state. It always
+// answers 200 — a degraded server still serves queries (that is the
+// point of the degradation ladder); the body says which rungs are
+// currently engaged so an operator can fix the underlying fault.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	degraded, reasons := s.health.Degraded()
+	status := "ok"
+	if degraded {
+		status = "degraded"
+	}
+	writeJSON(w, map[string]any{
+		"status":     status,
+		"degraded":   degraded,
+		"reasons":    reasons,
+		"subsystems": s.health.Snapshot(),
+	})
+}
+
+// handleReadyz is the load-balancer probe: 200 while the server accepts
+// new solves, 503 once draining began (graceful shutdown) so traffic
+// moves away before the listener closes.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.adm.Stats().Draining {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": "draining"})
+		return
+	}
+	writeJSON(w, map[string]any{"ready": true})
 }
 
 // handleLifecycle reports the admission controller's counters — the
@@ -427,7 +561,7 @@ func (s *server) handleLifecycle(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	ses, err := s.session()
 	if err != nil {
-		s.httpErr(w, err)
+		s.httpErr(w, r, err)
 		return
 	}
 	release, ok := s.admit(w, r)
@@ -444,12 +578,13 @@ func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		SketchPersistDir: s.persistDir, SketchMemo: s.memo, SketchIncremental: s.incremental,
 		Catalog: s.cat, Timeout: s.timeout, MemoryBudget: s.memBudget})
 	if err != nil {
-		s.httpErr(w, err)
+		s.httpErr(w, r, err)
 		return
 	}
+	s.noteHealth(&res.Stats)
 	sum, err := viz.Summarize(prep, res.Packages, 0, !res.Stats.Exact)
 	if err != nil {
-		s.httpErr(w, err)
+		s.httpErr(w, r, err)
 		return
 	}
 	writeJSON(w, sum)
@@ -469,10 +604,16 @@ func writeJSON(w http.ResponseWriter, v any) {
 // clients can react mechanically: 429 + Retry-After when the query was
 // shed, 408 when the caller's context died (disconnect or deadline
 // empty-handed), 422 for queries the engine refuses to or provably
-// cannot answer, and 400 for everything else (parse errors, bad
-// parameters). The JSON body's "code" field carries the category.
-func (s *server) httpErr(w http.ResponseWriter, err error) {
+// cannot answer, 500 for internal failures (a recovered panic or an
+// injected fault that exhausted the degradation ladder), and 400 for
+// everything else (parse errors, bad parameters). The JSON body's
+// "code" field carries the category and "requestId" the request's ID;
+// operator-actionable statuses (429/408/500) are logged with the same
+// ID so a client report matches exactly one log line.
+func (s *server) httpErr(w http.ResponseWriter, r *http.Request, err error) {
+	id := requestID(r)
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Request-Id", id)
 	status, code := http.StatusBadRequest, "bad_request"
 	switch {
 	case errors.Is(err, lifecycle.ErrAdmission):
@@ -485,9 +626,16 @@ func (s *server) httpErr(w http.ResponseWriter, err error) {
 		status, code = http.StatusUnprocessableEntity, "budget"
 	case errors.Is(err, lifecycle.ErrInfeasible):
 		status, code = http.StatusUnprocessableEntity, "infeasible"
+	case errors.Is(err, lifecycle.ErrInternal):
+		status, code = http.StatusInternalServerError, "internal"
+	}
+	if status == http.StatusInternalServerError ||
+		status == http.StatusTooManyRequests ||
+		status == http.StatusRequestTimeout {
+		log.Printf("pbserver: %s %s -> %d (request %s): %v", r.Method, r.URL.Path, status, id, err)
 	}
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error(), "code": code})
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error(), "code": code, "requestId": id})
 }
 
 const indexHTML = `<!doctype html>
@@ -570,6 +718,7 @@ function render(p) {
         (p.stats.boundTightenRounds ? ' (' + p.stats.boundTightenRounds + ' tightening rounds)' : '');
     }
     if (p.stats.plannedStrategy) stats += '\nplanned: ' + p.stats.plannedStrategy;
+    if (p.stats.degraded) stats += '\ndegraded: ' + p.stats.degradedReason;
   }
   document.getElementById('aggs').textContent =
     Object.entries(p.aggregates).map(([k,v])=>k.padEnd(36)+v).join('\n') +

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/lp"
 	"repro/internal/translate"
 )
@@ -168,6 +169,12 @@ func Candidates(n, maxMult int, pins map[int]bool) []Group {
 // Minimize). objW holds one objective weight per candidate tuple; nil
 // means a zero objective.
 func Relax(atoms []*translate.LinearAtom, objW []float64, sense lp.Sense, groups []Group) (*lp.Problem, error) {
+	if err := fault.Check("bound.relax"); err != nil {
+		// Every certification stage builds its relaxation here, so this
+		// one site lets the chaos harness fail any bound pass; callers
+		// degrade to an uncertified answer, never a failed query.
+		return nil, err
+	}
 	p := lp.NewProblem(len(groups))
 	obj := make([]float64, len(groups))
 	for g, grp := range groups {

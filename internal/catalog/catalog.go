@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/minidb"
 	"repro/internal/schema"
 )
@@ -144,6 +145,17 @@ func (c *Catalog) Stats(table string) (TableStats, bool) {
 	}
 	key := strings.ToLower(t.Name)
 	e := c.tables[key]
+	if fault.Check("catalog.refresh") != nil {
+		// Refresh rung: statistics advise the planner, they never gate
+		// correctness — a failed refresh serves the stale snapshot when
+		// one exists and reports "no stats" otherwise (the planner then
+		// falls back to a minimal row-count snapshot).
+		if e == nil {
+			return TableStats{}, false
+		}
+		e.observe(c.now())
+		return e.snapshot(t.Name), true
+	}
 	if e == nil {
 		e = &entry{}
 		c.scan(e, t)

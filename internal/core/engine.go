@@ -267,6 +267,14 @@ type Stats struct {
 	BoundTightenRounds int          // Lagrangian tightening rounds the bound pipeline spent
 	Elapsed            time.Duration
 	Notes              []string // strategy decisions, fallbacks, caveats
+	// Degraded reports that at least one optional subsystem (cache,
+	// disk store, delta patch, bound pass, catalog, …) failed during
+	// this evaluation and the engine continued one rung down the
+	// degradation ladder instead of failing the query.
+	Degraded bool
+	// DegradedReasons lists the rungs taken, one "subsystem: detail"
+	// entry per degradation event, in the order they happened.
+	DegradedReasons []string
 	// Plan is the cost-based planner's decision trail for this
 	// evaluation (strategy, knobs, costs, reasons). Always set by Run;
 	// EXPLAIN surfaces render it.

@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"repro/internal/catalog"
+	"repro/internal/fault"
 	"repro/internal/plan"
 	"repro/internal/sketch"
 )
@@ -108,7 +109,7 @@ func (p *Prepared) cacheProbe(opts Options) func(tau, depth int) plan.CacheState
 	if memo == nil || (cache == nil && opts.SketchPersistDir == "") {
 		return nil
 	}
-	return func(tau, depth int) plan.CacheState {
+	probe := func(tau, depth int) plan.CacheState {
 		var cs plan.CacheState
 		pr := memo.Probe(p)
 		if !pr.Known {
@@ -151,6 +152,20 @@ func (p *Prepared) cacheProbe(opts Options) func(tau, depth int) plan.CacheState
 			}
 		}
 		return cs
+	}
+	// Probe rung of the degradation ladder: a probe that fails (or
+	// panics) yields "assume cold" — the plan degrades to predicting a
+	// full build, the query itself is untouched.
+	return func(tau, depth int) (cs plan.CacheState) {
+		defer func() {
+			if recover() != nil {
+				cs = plan.CacheState{ProbeFailed: true}
+			}
+		}()
+		if fault.Check("plan.probe") != nil {
+			return plan.CacheState{ProbeFailed: true}
+		}
+		return probe(tau, depth)
 	}
 }
 

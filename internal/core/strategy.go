@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/bound"
+	"repro/internal/fault"
 	"repro/internal/lifecycle"
 	"repro/internal/lp"
 	"repro/internal/milp"
@@ -95,13 +96,25 @@ func (p *Prepared) RunContext(ctx context.Context, opts Options) (*Result, error
 // run is the shared evaluation body behind Run and RunContext. It
 // returns typed lifecycle errors; the legacy wrapper downgrades the
 // ones its contract predates.
-func (p *Prepared) run(ctx context.Context, opts Options) (*Result, error) {
+func (p *Prepared) run(ctx context.Context, opts Options) (res *Result, err error) {
+	// Last rung of the degradation ladder: a panic anywhere in the
+	// solve becomes a typed lifecycle.ErrInternal instead of killing
+	// the process, so admission slots drain and the caller sees one
+	// failed query, not a crashed server.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, lifecycle.Internal(fmt.Errorf("panic: %v", r))
+		}
+	}()
+	if ferr := fault.Check("core.solve"); ferr != nil {
+		return nil, lifecycle.Internal(ferr)
+	}
 	start := time.Now()
 	if err := lifecycle.ContextErr(ctx); err != nil {
 		return nil, err
 	}
 	inst := p.Instance
-	res := &Result{Query: p.Query}
+	res = &Result{Query: p.Query}
 	res.Stats.Candidates = len(inst.Rows)
 	res.Stats.Bounds = inst.Bounds
 	res.Stats.Linear = p.Analysis.Linear
@@ -403,6 +416,10 @@ func (p *Prepared) runSketch(ctx context.Context, res *Result, opts Options, fet
 	res.Stats.BoundStage = sres.BoundStage
 	res.Stats.BoundTightenRounds = sres.BoundRounds
 	res.Stats.Notes = append(res.Stats.Notes, sres.Notes...)
+	if len(sres.Degraded) > 0 {
+		res.Stats.DegradedReasons = append(res.Stats.DegradedReasons, sres.Degraded...)
+		res.Stats.Degraded = true
+	}
 	gapNote := "; objective gap unproven"
 	if sres.Certified {
 		iv := bound.Interval{Found: sres.Objective, Bound: sres.Bound, Certified: true}

@@ -1,0 +1,284 @@
+// Package fault is a deterministic fault-injection layer for tests and
+// benchmarks. Subsystems call Check (or wrap their file access with FS,
+// see fs.go) at named sites; an Injector installed via Enable decides —
+// from a seeded RNG and a static rule set — whether each visit observes
+// an injected error, an added latency, a partial write, or a panic.
+//
+// The layer is built for two properties:
+//
+//   - Zero overhead when disabled. Check is a single atomic pointer
+//     load followed by a nil comparison; no allocation, no lock, no
+//     map lookup. Production binaries never install an injector.
+//   - Determinism. An Injector is seeded, and every probabilistic
+//     decision is drawn from that seed under a mutex, so a chaos run
+//     is reproducible from (corpus seed, injector seed, rule set).
+//
+// Sites are dot-separated lowercase names ("sketch.store.load",
+// "core.solve"). Rules match a site exactly or by prefix with a
+// trailing "*" ("sketch.store.*"). The injector counts visits and
+// fires per site; Coverage exposes the counters so chaos harnesses can
+// assert that every registered rung of a degradation ladder was
+// actually exercised.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind selects the effect a Rule injects at a site.
+type Kind int
+
+// The four fault kinds. KindPartialWrite only has an effect on sites
+// visited through the FS wrapper's file writes; at plain Check sites it
+// behaves like KindError.
+const (
+	// KindError makes Check return an injected error.
+	KindError Kind = iota
+	// KindLatency makes Check sleep for the rule's Latency and then
+	// succeed.
+	KindLatency
+	// KindPanic makes Check panic with a PanicValue. Callers that own
+	// a degradation rung recover it; the top-level solve recovery
+	// converts anything unhandled into lifecycle.ErrInternal.
+	KindPanic
+	// KindPartialWrite makes an injected file write only a prefix of
+	// the buffer before failing, modeling torn writes.
+	KindPartialWrite
+)
+
+// ErrInjected is the sentinel wrapped by every injected error, so
+// callers (and retry loops) can recognize synthetic faults with
+// errors.Is.
+var ErrInjected = errors.New("fault: injected")
+
+// PanicValue is the value thrown by KindPanic rules; recovery code can
+// type-assert it to learn the originating site.
+type PanicValue struct {
+	// Site is the fault site that panicked.
+	Site string
+}
+
+// String renders the panic value for recovery logs and test failures.
+func (p PanicValue) String() string { return "injected panic at " + p.Site }
+
+// Rule describes one fault at one site (or site prefix).
+type Rule struct {
+	// Site is the site name to match; a trailing "*" matches any site
+	// with the preceding prefix.
+	Site string
+	// Kind is the effect to inject.
+	Kind Kind
+	// Prob is the per-visit injection probability in [0,1]. If zero,
+	// the rule fires on every matching visit (subject to Limit).
+	Prob float64
+	// Limit caps the total number of fires for this rule; zero means
+	// unlimited.
+	Limit int
+	// Latency is the sleep injected by KindLatency rules.
+	Latency time.Duration
+}
+
+func (r *Rule) matches(site string) bool {
+	if p, ok := strings.CutSuffix(r.Site, "*"); ok {
+		return strings.HasPrefix(site, p)
+	}
+	return r.Site == site
+}
+
+// SiteStats reports the visit and fire counters for one site.
+type SiteStats struct {
+	// Visits counts how many times the site was checked while the
+	// injector was installed.
+	Visits int64
+	// Fires counts how many visits actually observed a fault.
+	Fires int64
+}
+
+// Coverage maps site name to its counters, as returned by
+// (*Injector).Coverage.
+type Coverage map[string]SiteStats
+
+// Summary renders the coverage as a stable, human-readable table, one
+// "site visits fires" line per site — the artifact the chaos-smoke CI
+// job uploads.
+func (c Coverage) Summary() string {
+	sites := make([]string, 0, len(c))
+	for s := range c {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	var b strings.Builder
+	for _, s := range sites {
+		st := c[s]
+		fmt.Fprintf(&b, "%-28s visits=%-6d fires=%d\n", s, st.Visits, st.Fires)
+	}
+	return b.String()
+}
+
+// Injector is a seeded set of fault rules with per-site counters. It is
+// safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *splitMix
+	rules []Rule
+	fired []int // per-rule fire counts, parallel to rules
+	stats map[string]*SiteStats
+	sleep func(time.Duration) // test hook; defaults to time.Sleep
+}
+
+// NewInjector builds an injector with the given seed and rules. The
+// same seed and rules replay the same fault schedule for the same
+// sequence of site visits.
+func NewInjector(seed int64, rules ...Rule) *Injector {
+	return &Injector{
+		rng:   newSplitMix(uint64(seed)),
+		rules: append([]Rule(nil), rules...),
+		fired: make([]int, len(rules)),
+		stats: make(map[string]*SiteStats),
+		sleep: time.Sleep,
+	}
+}
+
+// Coverage returns a copy of the per-site visit/fire counters.
+func (in *Injector) Coverage() Coverage {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(Coverage, len(in.stats))
+	for s, st := range in.stats {
+		out[s] = *st
+	}
+	return out
+}
+
+// decide records a visit at site and returns the rule to apply, if any.
+func (in *Injector) decide(site string) (Rule, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.stats[site]
+	if st == nil {
+		st = &SiteStats{}
+		in.stats[site] = st
+	}
+	st.Visits++
+	for i := range in.rules {
+		r := &in.rules[i]
+		if !r.matches(site) {
+			continue
+		}
+		if r.Limit > 0 && in.fired[i] >= r.Limit {
+			continue
+		}
+		if r.Prob > 0 && in.rng.float64() >= r.Prob {
+			continue
+		}
+		in.fired[i]++
+		st.Fires++
+		return *r, true
+	}
+	return Rule{}, false
+}
+
+// check applies the first matching rule for a visit to site.
+func (in *Injector) check(site string) error {
+	r, ok := in.decide(site)
+	if !ok {
+		return nil
+	}
+	switch r.Kind {
+	case KindLatency:
+		if r.Latency > 0 {
+			in.sleep(r.Latency)
+		}
+		return nil
+	case KindPanic:
+		panic(PanicValue{Site: site})
+	default: // KindError, KindPartialWrite
+		return Errorf(site)
+	}
+}
+
+// partialWrite reports whether a write at site should be torn, and the
+// fraction of the buffer to keep when it is.
+func (in *Injector) partialWrite(site string) (float64, bool) {
+	r, ok := in.decide(site)
+	if !ok {
+		return 0, false
+	}
+	switch r.Kind {
+	case KindLatency:
+		if r.Latency > 0 {
+			in.sleep(r.Latency)
+		}
+		return 0, false
+	case KindPanic:
+		panic(PanicValue{Site: site})
+	case KindPartialWrite:
+		in.mu.Lock()
+		frac := in.rng.float64()
+		in.mu.Unlock()
+		return frac, true
+	default:
+		return -1, true // full failure before any byte lands
+	}
+}
+
+// Errorf builds the injected-error value for a site, wrapping
+// ErrInjected.
+func Errorf(site string) error {
+	return fmt.Errorf("%w at %s", ErrInjected, site)
+}
+
+// current is the installed injector; nil means the layer is disabled
+// and Check is a single atomic load.
+var current atomic.Pointer[Injector]
+
+// Enable installs inj as the process-wide injector and returns a
+// restore function that reinstates the previous one. Test/bench only.
+func Enable(inj *Injector) (restore func()) {
+	old := current.Swap(inj)
+	return func() { current.Store(old) }
+}
+
+// Disable removes any installed injector.
+func Disable() { current.Store(nil) }
+
+// Enabled reports whether an injector is installed.
+func Enabled() bool { return current.Load() != nil }
+
+// Check records a visit to site and returns an injected error (or
+// panics, or sleeps) according to the installed injector's rules. With
+// no injector installed it returns nil immediately.
+func Check(site string) error {
+	in := current.Load()
+	if in == nil {
+		return nil
+	}
+	return in.check(site)
+}
+
+// Injected reports whether err originates from the injection layer.
+func Injected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// splitMix is a tiny deterministic PRNG (SplitMix64) so the injector
+// does not perturb or depend on math/rand global state.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed} }
+
+func (m *splitMix) next() uint64 {
+	m.s += 0x9e3779b97f4a7c15
+	z := m.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (m *splitMix) float64() float64 {
+	return float64(m.next()>>11) / (1 << 53)
+}

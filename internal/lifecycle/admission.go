@@ -2,6 +2,7 @@ package lifecycle
 
 import (
 	"context"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -24,7 +25,8 @@ type Controller struct {
 
 	admitted uint64
 	shed     uint64
-	ewmaMs   float64 // exponentially-weighted solve duration, for Retry-After
+	ewmaMs   float64        // exponentially-weighted solve duration, for Retry-After
+	jitter   func() float64 // uniform [0,1) source for Retry-After spread
 }
 
 type waiter struct {
@@ -45,6 +47,7 @@ func NewController(maxInFlight, maxQueue int) *Controller {
 		maxInFlight: maxInFlight,
 		maxQueue:    maxQueue,
 		drainC:      make(chan struct{}),
+		jitter:      rand.Float64,
 	}
 }
 
@@ -171,26 +174,39 @@ func (c *Controller) Drain(ctx context.Context) error {
 	}
 }
 
+// Retry-After bounds: hints are jittered ±25% and then clamped to
+// [retryAfterFloor, retryAfterCeil] so a shed burst does not send every
+// client back at the same instant.
+const (
+	retryAfterFloor = time.Second
+	retryAfterCeil  = 30 * time.Second
+)
+
 // RetryAfter hints how long a shed client should wait before retrying:
-// the smoothed solve duration scaled by queue pressure, clamped to
-// [1s, 30s]. With no history it returns 1s.
+// the smoothed solve duration scaled by queue pressure, spread with
+// ±25% jitter, clamped to [1s, 30s]. The jitter decorrelates clients
+// that were shed by the same burst — without it they all retry in
+// lockstep and re-create the burst. With no history it returns a
+// jittered floor-to-1.25s hint.
 func (c *Controller) RetryAfter() time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ms := c.ewmaMs
 	if ms <= 0 {
-		return time.Second
+		ms = float64(retryAfterFloor.Milliseconds())
 	}
 	// A shed client is behind maxQueue waiters and maxInFlight solves;
 	// one smoothed solve-time per in-flight "wave" approximates the
 	// backlog clearing time.
 	waves := 1 + len(c.queue)/c.maxInFlight
-	d := time.Duration(ms*float64(waves)) * time.Millisecond
-	if d < time.Second {
-		return time.Second
+	est := ms * float64(waves)
+	est *= 0.75 + 0.5*c.jitter() // uniform in [0.75, 1.25) of the estimate
+	d := time.Duration(est) * time.Millisecond
+	if d < retryAfterFloor {
+		return retryAfterFloor
 	}
-	if d > 30*time.Second {
-		return 30 * time.Second
+	if d > retryAfterCeil {
+		return retryAfterCeil
 	}
 	return d
 }

@@ -26,7 +26,7 @@ import (
 	"fmt"
 )
 
-// Sentinel errors for the four query-lifecycle outcomes. They are
+// Sentinel errors for the query-lifecycle outcomes. They are
 // package-level variables so errors.Is works across process layers;
 // every helper below wraps them, never replaces them.
 var (
@@ -50,6 +50,12 @@ var (
 	// the server is at capacity (or draining) and the wait queue is
 	// full. The client should retry after the hinted delay.
 	ErrAdmission = errors.New("admission: server at capacity")
+
+	// ErrInternal reports an unexpected engine failure — typically a
+	// recovered panic in a solve path. The query produced no answer,
+	// but the process and its shared state (caches, admission slots)
+	// remain consistent; the client may retry.
+	ErrInternal = errors.New("internal: query failed unexpectedly")
 )
 
 // Canceled wraps a context error (or any cause) so the result matches
@@ -85,6 +91,16 @@ func Shed(reason string) error {
 		return ErrAdmission
 	}
 	return fmt.Errorf("%w (%s)", ErrAdmission, reason)
+}
+
+// Internal wraps a cause (usually a recovered panic rendered as an
+// error) so the result matches ErrInternal under errors.Is. A nil
+// cause returns ErrInternal itself.
+func Internal(cause error) error {
+	if cause == nil {
+		return ErrInternal
+	}
+	return fmt.Errorf("%w: %w", ErrInternal, cause)
 }
 
 // ContextErr classifies a context's error into the lifecycle taxonomy:

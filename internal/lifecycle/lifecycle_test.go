@@ -237,8 +237,8 @@ func TestControllerDrainDeadline(t *testing.T) {
 
 func TestRetryAfterBounds(t *testing.T) {
 	c := NewController(1, 0)
-	if got := c.RetryAfter(); got != time.Second {
-		t.Fatalf("no-history hint %v, want 1s", got)
+	if got := c.RetryAfter(); got < time.Second || got >= 1250*time.Millisecond {
+		t.Fatalf("no-history hint %v, want [1s, 1.25s)", got)
 	}
 	rel, _ := c.Acquire(context.Background())
 	rel()
@@ -246,12 +246,78 @@ func TestRetryAfterBounds(t *testing.T) {
 	if got < time.Second || got > 30*time.Second {
 		t.Fatalf("hint %v outside [1s, 30s]", got)
 	}
-	// A huge smoothed duration clamps to 30s.
+	// A huge smoothed duration clamps to 30s even at maximum jitter.
 	c.mu.Lock()
 	c.ewmaMs = 10 * 60 * 1000
 	c.mu.Unlock()
 	if got := c.RetryAfter(); got != 30*time.Second {
 		t.Fatalf("hint %v, want 30s clamp", got)
+	}
+	// And the floor holds at minimum jitter.
+	c.mu.Lock()
+	c.ewmaMs = 1
+	c.jitter = func() float64 { return 0 }
+	c.mu.Unlock()
+	if got := c.RetryAfter(); got != time.Second {
+		t.Fatalf("hint %v, want 1s floor", got)
+	}
+}
+
+// TestRetryAfterJitterSpreads checks shed clients are decorrelated: the
+// same controller state yields different hints across calls.
+func TestRetryAfterJitterSpreads(t *testing.T) {
+	c := NewController(1, 0)
+	c.mu.Lock()
+	c.ewmaMs = 10 * 1000 // 10s estimate, far from both clamps
+	c.mu.Unlock()
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 32; i++ {
+		d := c.RetryAfter()
+		if d < 7500*time.Millisecond || d >= 12500*time.Millisecond {
+			t.Fatalf("hint %v outside jitter band [7.5s, 12.5s)", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("32 hints collapsed to %d distinct values", len(seen))
+	}
+}
+
+func TestHealthRegistry(t *testing.T) {
+	h := NewHealth()
+	if deg, _ := h.Degraded(); deg {
+		t.Fatal("fresh registry reports degraded")
+	}
+	h.Report("store", "load failed; tree rebuilt")
+	h.Report("cache", "probe failed")
+	h.Report("store", "save failed")
+	deg, reasons := h.Degraded()
+	if !deg || len(reasons) != 2 {
+		t.Fatalf("degraded=%v reasons=%v", deg, reasons)
+	}
+	if reasons[0] != "cache: probe failed" {
+		t.Fatalf("reasons not sorted: %v", reasons)
+	}
+	snap := h.Snapshot()
+	if snap["store"].Events != 2 || snap["store"].OK {
+		t.Fatalf("store state %+v", snap["store"])
+	}
+	h.ClearAll()
+	if deg, _ := h.Degraded(); deg {
+		t.Fatal("degraded after ClearAll")
+	}
+	if snap := h.Snapshot(); snap["store"].Events != 2 {
+		t.Fatalf("ClearAll lost event counter: %+v", snap["store"])
+	}
+}
+
+func TestInternalWrap(t *testing.T) {
+	err := Internal(errors.New("panic: boom"))
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("Internal() does not match ErrInternal: %v", err)
+	}
+	if !errors.Is(Internal(nil), ErrInternal) {
+		t.Fatal("Internal(nil) does not match ErrInternal")
 	}
 }
 

@@ -1,6 +1,10 @@
 package minidb
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/fault"
+)
 
 // Write tracking: every table carries a monotonic version plus a
 // bounded log of the writes behind it, so higher layers (the sketch
@@ -60,6 +64,12 @@ type TableDelta struct {
 // log — the caller must then treat the whole table as changed.
 func (t *Table) DeltaSince(base uint64) (TableDelta, bool) {
 	d := TableDelta{Base: base, Current: t.version}
+	if fault.Check("minidb.delta") != nil {
+		// An unreadable delta log is indistinguishable from an aged-out
+		// one: report !ok and the caller degrades to a full
+		// rehash/rebuild, which is always correct.
+		return d, false
+	}
 	if base == t.version {
 		d.BaseSize = len(t.Rows)
 		d.AppendedStart = len(t.Rows)

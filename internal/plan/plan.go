@@ -189,6 +189,10 @@ type CacheState struct {
 	// PatchFrac is the lineage delta as a fraction of the candidates
 	// (meaningful only when Patchable).
 	PatchFrac float64 `json:"patchFrac,omitempty"`
+	// ProbeFailed: the probe itself failed, so the state above is
+	// unknown and the planner assumes cold. Plans are predictions — a
+	// failed probe degrades the prediction, never the query.
+	ProbeFailed bool `json:"probeFailed,omitempty"`
 }
 
 // Forced carries the knobs the user pinned explicitly; zero values

@@ -398,6 +398,9 @@ func (pl *Planner) pickTreeSource(p *Plan, in Input, cs CacheState) {
 	case cs.Patchable && p.Incremental:
 		d.Value = SourcePatch
 		d.Reason = fmt.Sprintf("stale base tree plus write lineage (delta %.1f%% of candidates): patch instead of rebuild", 100*cs.PatchFrac)
+	case cs.ProbeFailed:
+		d.Value = SourceBuild
+		d.Reason = "cache probe failed; assuming cold and planning a full offline build"
 	default:
 		d.Value = SourceBuild
 		d.Reason = "no cached, persisted, or patchable tree: full offline build"

@@ -1,6 +1,8 @@
 package sketch
 
 import (
+	"time"
+
 	"repro/internal/bound"
 	"repro/internal/search"
 	"repro/internal/translate"
@@ -37,4 +39,16 @@ func SetRenameHook(fn func(tmp, dst string) error) (restore func()) {
 	old := renameFile
 	renameFile = fn
 	return func() { renameFile = old }
+}
+
+// ResetSweepForTest forgets that dir was already swept, so the next
+// NewStore sweeps it again.
+func ResetSweepForTest(dir string) { sweptDirs.Delete(dir) }
+
+// SetStoreRetryForTest overrides the transient-I/O retry policy and
+// returns a restore function (the chaos harness shrinks the backoff).
+func SetStoreRetryForTest(attempts int, base, cap time.Duration) (restore func()) {
+	oa, ob, oc := storeRetryAttempts, storeRetryBase, storeRetryCap
+	storeRetryAttempts, storeRetryBase, storeRetryCap = attempts, base, cap
+	return func() { storeRetryAttempts, storeRetryBase, storeRetryCap = oa, ob, oc }
 }

@@ -8,9 +8,14 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/schema"
 	"repro/internal/value"
 )
@@ -47,18 +52,124 @@ const (
 // The rename-based write makes concurrent use safe: readers only ever
 // see complete files, and the last concurrent builder of the same key
 // wins with an identical tree (builds are deterministic).
+//
+// Failure handling (the storage rungs of the degradation ladder):
+//
+//   - Transient I/O errors on load and save are retried with capped
+//     exponential backoff plus jitter; a missing file is never retried
+//     (it is a clean miss).
+//   - A file that decodes as corrupt is quarantined — renamed to
+//     <name>.quarantine with a sibling .reason file — so the next miss
+//     on that key is clean instead of re-reading the same bad bytes on
+//     every query.
+//   - Orphaned temp files (".pbtree-*", left by a crash between write
+//     and rename) are swept once per directory per process, on the
+//     first NewStore for that directory.
 type Store struct {
 	dir string
+	fs  fault.FS
 }
 
-// NewStore returns a store rooted at dir. The directory is created on
-// the first Save.
-func NewStore(dir string) *Store { return &Store{dir: dir} }
+// sweepState guards the once-per-process-per-directory orphan sweep
+// and records its outcome so serving front ends can log what the first
+// NewStore for their directory actually removed.
+type sweepState struct {
+	once    sync.Once
+	removed int
+	err     error
+}
 
-// renameFile publishes a finished temp file; tests swap it out to
-// inject a crash between writing the payload and the atomic rename
-// (the window where both the old file and the orphaned temp exist).
-var renameFile = os.Rename
+var sweptDirs sync.Map // dir -> *sweepState
+
+// NewStore returns a store rooted at dir. The directory is created on
+// the first Save; the first NewStore for a directory sweeps any
+// orphaned temp files a previous crashed process left behind.
+func NewStore(dir string) *Store {
+	s := &Store{dir: dir, fs: fault.FSFor("sketch.store.fs")}
+	v, _ := sweptDirs.LoadOrStore(dir, new(sweepState))
+	st := v.(*sweepState)
+	st.once.Do(func() { st.removed, st.err = s.SweepOrphans() })
+	return s
+}
+
+// SweepResult reports what the once-per-process startup sweep for the
+// store's directory removed (0, nil before any NewStore for it ran).
+func (s *Store) SweepResult() (removed int, err error) {
+	if v, ok := sweptDirs.Load(s.dir); ok {
+		st := v.(*sweepState)
+		return st.removed, st.err
+	}
+	return 0, nil
+}
+
+// SweepOrphans removes leftover ".pbtree-*" temp files from the store
+// directory — debris from a save that crashed between writing the
+// payload and the atomic rename. It returns how many files it removed.
+// A missing directory is a clean no-op. Sweeping runs automatically on
+// the first NewStore per directory; serving front ends may also call it
+// explicitly at startup.
+func (s *Store) SweepOrphans() (removed int, err error) {
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, tmpPrefix) {
+			continue
+		}
+		if s.fs.Remove(filepath.Join(s.dir, name)) == nil {
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// tmpPattern names save temp files; tmpPrefix is what SweepOrphans
+// matches against.
+const (
+	tmpPattern = ".pbtree-*"
+	tmpPrefix  = ".pbtree-"
+)
+
+// renameFile publishes a finished temp file; tests swap it via
+// SetRenameHook to inject a crash between writing the payload and the
+// atomic rename (the window where both the old file and the orphaned
+// temp exist). When nil, the store's own FS performs the rename.
+var renameFile func(tmp, dst string) error
+
+// Retry policy for transient load/save I/O errors: capped exponential
+// backoff with jitter. Variables so the chaos harness can shrink the
+// delays.
+var (
+	storeRetryAttempts = 3
+	storeRetryBase     = 2 * time.Millisecond
+	storeRetryCap      = 16 * time.Millisecond
+)
+
+// retryIO runs op up to storeRetryAttempts times, sleeping an
+// exponentially growing, jittered backoff between attempts. A missing
+// file is returned immediately — absence is a fact, not a fault.
+func retryIO(op func() error) error {
+	var err error
+	for i := 0; ; i++ {
+		err = op()
+		if err == nil || os.IsNotExist(err) || i+1 >= storeRetryAttempts {
+			return err
+		}
+		d := storeRetryBase << i
+		if d > storeRetryCap {
+			d = storeRetryCap
+		}
+		// Full jitter over the upper half of the window decorrelates
+		// concurrent retriers hammering the same device.
+		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+		time.Sleep(d)
+	}
+}
 
 // Dir reports the directory backing the store.
 func (s *Store) Dir() string { return s.dir }
@@ -74,12 +185,24 @@ func (s *Store) Path(k Key) string {
 }
 
 // Save writes the tree for the key, atomically replacing any previous
-// file.
+// file. Transient I/O errors retry the whole write (each attempt uses a
+// fresh temp file; a failed attempt removes its own temp so crashed
+// saves never accumulate debris that blocks later ones).
 func (s *Store) Save(k Key, t *Tree) error {
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+	return retryIO(func() error {
+		if err := fault.Check("sketch.store.save"); err != nil {
+			return err
+		}
+		return s.saveOnce(k, t)
+	})
+}
+
+// saveOnce performs one atomic write attempt.
+func (s *Store) saveOnce(k Key, t *Tree) error {
+	if err := s.fs.MkdirAll(s.dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.CreateTemp(s.dir, ".pbtree-*")
+	f, err := s.fs.CreateTemp(s.dir, tmpPattern)
 	if err != nil {
 		return err
 	}
@@ -100,10 +223,14 @@ func (s *Store) Save(k Key, t *Tree) error {
 		err = cerr
 	}
 	if err == nil {
-		err = renameFile(tmp, s.Path(k))
+		rn := renameFile
+		if rn == nil {
+			rn = s.fs.Rename
+		}
+		err = rn(tmp, s.Path(k))
 	}
 	if err != nil {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 	}
 	return err
 }
@@ -114,24 +241,60 @@ func (s *Store) Save(k Key, t *Tree) error {
 // Load still falls back to a rebuild, so the plan is a prediction, not
 // a promise.
 func (s *Store) Contains(k Key) bool {
-	fi, err := os.Stat(s.Path(k))
+	fi, err := s.fs.Stat(s.Path(k))
 	return err == nil && !fi.IsDir()
 }
 
 // Load reads the tree persisted for the key. A missing file is a clean
-// miss (nil, nil); a file that is truncated, corrupted, carries another
-// format version, or was written for a different key — a stale
-// fingerprint after a data change, say — returns an error the caller
-// should treat as "rebuild", never as fatal.
+// miss (nil, nil); transient read errors are retried with backoff; a
+// file that is truncated, corrupted, carries another format version, or
+// was written for a different key — a stale fingerprint after a data
+// change, say — is quarantined and returns an error the caller should
+// treat as "rebuild", never as fatal. Quarantining (rename to
+// <name>.quarantine plus a .reason file) turns a persistently corrupt
+// file into exactly one degraded query: the next miss on the key is
+// clean and the rebuilt tree re-persists under the original name.
 func (s *Store) Load(k Key) (*Tree, error) {
-	data, err := os.ReadFile(s.Path(k))
+	path := s.Path(k)
+	var data []byte
+	err := retryIO(func() error {
+		if err := fault.Check("sketch.store.load"); err != nil {
+			return err
+		}
+		var rerr error
+		data, rerr = s.fs.ReadFile(path)
+		return rerr
+	})
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
 		}
 		return nil, err
 	}
-	return decodeTree(data, k)
+	t, err := decodeTree(data, k)
+	if err != nil {
+		if qerr := s.quarantine(path, err); qerr == nil {
+			err = fmt.Errorf("%w (file quarantined)", err)
+		}
+		return nil, err
+	}
+	return t, nil
+}
+
+// quarantine moves a corrupt store file out of the key's path and
+// records why, preserving the bytes for post-mortem instead of letting
+// the next save silently overwrite the evidence.
+func (s *Store) quarantine(path string, cause error) error {
+	qpath := path + ".quarantine"
+	if err := s.fs.Rename(path, qpath); err != nil {
+		return err
+	}
+	reason := fmt.Sprintf("quarantined: %s\ntime: %s\ncause: %v\n",
+		filepath.Base(path), time.Now().UTC().Format(time.RFC3339), cause)
+	// Best effort: the quarantine itself succeeded even if the note
+	// cannot be written.
+	s.fs.WriteFile(qpath+".reason", []byte(reason), 0o644)
+	return nil
 }
 
 // treeEncoder streams the versioned binary encoding: magic, version,

@@ -58,6 +58,7 @@ package sketch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -66,6 +67,7 @@ import (
 	"time"
 
 	"repro/internal/bound"
+	"repro/internal/fault"
 	"repro/internal/lifecycle"
 	"repro/internal/lp"
 	"repro/internal/milp"
@@ -253,13 +255,26 @@ type Result struct {
 	Nodes        int64 // branch-and-bound nodes across all solves
 	LPIters      int   // simplex iterations across all solves
 	Notes        []string
-	Elapsed      time.Duration
+	// Degraded lists the degradation-ladder rungs this solve took, one
+	// "subsystem: detail" entry per event — an optional tier (cache,
+	// disk store, delta patch, bound pass) failed and the solve
+	// continued one rung down instead of failing. Empty on a fully
+	// healthy solve.
+	Degraded []string
+	Elapsed  time.Duration
 	// patchedAny records that any tree this solve descended carries
 	// patched provenance — whether ApplyDelta ran here or a
 	// patched-born tree arrived via the cache or the store. Solve's
 	// parity retry keys on it (TreePatched reflects only the last
 	// acquisition).
 	patchedAny bool
+}
+
+// degrade records one degradation-ladder rung on the result: the named
+// optional subsystem failed with detail, and the solve continued one
+// rung down instead of failing.
+func (r *Result) degrade(sub, detail string) {
+	r.Degraded = append(r.Degraded, sub+": "+detail)
 }
 
 // Applicable reports whether the instance can be evaluated with
@@ -386,12 +401,23 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 				pr, err := branchBound(inst, ba, exAtoms, pins, trees, opts, nanIncumbent, false)
 				res.BoundTime += time.Since(bt)
 				if err != nil {
-					return nil, err
+					if ferr := boundFatal(opts, err); ferr != nil {
+						return nil, ferr
+					}
+					// Certification rung: the bound pass is optional, so
+					// its failure degrades to an uncertified answer and
+					// the descent continues.
+					res.degrade("bound", fmt.Sprintf("certification pass failed (%v); answer uncertified", err))
+					wantBound = false
+					prs = nil
+					break
 				}
 				prs = append(prs, pr)
 			}
-			recordBound(prs)
-			prebounded = true
+			if wantBound {
+				recordBound(prs)
+				prebounded = true
+			}
 		}
 		for bi, br := range branches {
 			if err := lifecycle.ContextErr(opts.Ctx); err != nil {
@@ -448,9 +474,15 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 				pr, err := branchBound(inst, ba, exAtoms, pins, trees, opts, incumbent, has)
 				res.BoundTime += time.Since(bt)
 				if err != nil {
-					return nil, err
+					if ferr := boundFatal(opts, err); ferr != nil {
+						return nil, ferr
+					}
+					res.degrade("bound", fmt.Sprintf("certification pass failed (%v); answer uncertified", err))
+					wantBound = false
+					prs = nil
+				} else {
+					prs = append(prs, pr)
 				}
-				prs = append(prs, pr)
 			}
 		}
 		if wantBound && !prebounded {
@@ -497,6 +529,20 @@ func Solve(inst *search.Instance, opts Options) (*Result, error) {
 		res.Gap = bound.Interval{Found: res.Objective, Bound: res.Bound}.Gap()
 	}
 	return res, nil
+}
+
+// boundFatal classifies a bound-pass error: cancellation must
+// propagate (the caller gave up, not the subsystem), everything else
+// may degrade to an uncertified answer. Returns the error to propagate
+// or nil when degrading is allowed.
+func boundFatal(opts Options, err error) error {
+	if errors.Is(err, lifecycle.ErrCanceled) {
+		return err
+	}
+	if cerr := lifecycle.ContextErr(opts.Ctx); cerr != nil {
+		return cerr
+	}
+	return nil
 }
 
 // treeSource memoizes partition-tree acquisition across the branch
@@ -721,8 +767,18 @@ func acquireTree(inst *search.Instance, opts Options, res *Result) (*Tree, error
 	if opts.forceRebuild {
 		return buildFresh(inst, opts, res, store, key, opts.Cache)
 	}
+	// Cache rung of the degradation ladder: a failed probe bypasses the
+	// in-memory tier for this acquisition (disk, patch, and build still
+	// run) rather than failing the query.
+	cacheOK := opts.Cache != nil
+	if cacheOK {
+		if ferr := fault.Check("sketch.cache.get"); ferr != nil {
+			cacheOK = false
+			res.degrade("cache", fmt.Sprintf("probe failed (%v); bypassed for this query", ferr))
+		}
+	}
 	cacheGet := func() (*Tree, bool) {
-		if opts.Cache == nil {
+		if !cacheOK {
 			return nil, false
 		}
 		t, ok := opts.Cache.Get(key)
@@ -740,7 +796,7 @@ func acquireTree(inst *search.Instance, opts Options, res *Result) (*Tree, error
 		// caller's miss and its grant; re-check before doing real work.
 		// Peek, not Get: the one recorded miss already describes this
 		// acquisition, a second lookup must not skew the counters.
-		if opts.Cache != nil {
+		if cacheOK {
 			if t, ok := opts.Cache.Peek(key); ok {
 				res.CacheHit = true
 				res.patchedAny = res.patchedAny || t.Patched
@@ -757,11 +813,12 @@ func acquireTree(inst *search.Instance, opts Options, res *Result) (*Tree, error
 				// Corrupt, truncated, stale, or instance-mismatched files are
 				// a rebuild, never a failure: the build below overwrites them.
 				res.Notes = append(res.Notes, fmt.Sprintf("persisted partition tree unusable (%v); rebuilding", err))
+				res.degrade("store", fmt.Sprintf("persisted tree unusable (%v); rebuilt", err))
 			case t != nil:
 				res.TreeLoaded = true
 				res.patchedAny = res.patchedAny || t.Patched
-				if opts.Cache != nil {
-					opts.Cache.Put(key, t)
+				if cacheOK {
+					cachePublish(opts.Cache, key, t, res)
 				}
 				return t, nil
 			}
@@ -797,15 +854,28 @@ func buildFresh(inst *search.Instance, opts Options, res *Result, store *Store, 
 	if err := lifecycle.ContextErr(opts.Ctx); err != nil {
 		return nil, err
 	}
-	if cache != nil {
-		cache.Put(key, t)
-	}
+	cachePublish(cache, key, t, res)
 	if store != nil {
 		if err := store.Save(key, t); err != nil {
 			res.Notes = append(res.Notes, fmt.Sprintf("could not persist partition tree: %v", err))
+			res.degrade("store", fmt.Sprintf("tree not persisted (%v); disk tier cold for this key", err))
 		}
 	}
 	return t, nil
+}
+
+// cachePublish puts a tree in the in-memory tier unless the publish
+// fault site fires; publication is optional, so a failure only degrades
+// (the tree still serves this query and the disk tier).
+func cachePublish(c *Cache, key Key, t *Tree, res *Result) {
+	if c == nil {
+		return
+	}
+	if ferr := fault.Check("sketch.cache.put"); ferr != nil {
+		res.degrade("cache", fmt.Sprintf("publish failed (%v); tree not cached", ferr))
+		return
+	}
+	c.Put(key, t)
 }
 
 // patchStaleTree attempts incremental maintenance on an exact-key miss:
@@ -814,13 +884,29 @@ func buildFresh(inst *search.Instance, opts Options, res *Result, store *Store, 
 // current candidates, stored under the new key, and re-persisted
 // atomically. Returns nil when there is no lineage, no base tree, or
 // the delta cannot be absorbed locally (the caller then rebuilds).
-func patchStaleTree(inst *search.Instance, opts Options, key Key, store *Store, res *Result) *Tree {
+//
+// Patching is the first rung above a rebuild, so every failure mode —
+// an injected fault, or a panic out of ApplyDelta on a tree that
+// decoded cleanly but trips an invariant — degrades to "no patch" and
+// lets the caller rebuild from scratch, never fails the query.
+func patchStaleTree(inst *search.Instance, opts Options, key Key, store *Store, res *Result) (t *Tree) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.degrade("patch", fmt.Sprintf("delta patch panicked (%v); rebuilding from scratch", r))
+			res.TreePatched = false
+			t = nil
+		}
+	}()
 	if opts.Patch == nil || key.Fingerprint == opts.Patch.BaseFingerprint {
 		return nil
 	}
 	if opts.stopped() {
 		// A canceled solve must not publish a patched tree; report "no
 		// patch" and let the build path surface the cancellation.
+		return nil
+	}
+	if ferr := fault.Check("sketch.tree.patch"); ferr != nil {
+		res.degrade("patch", fmt.Sprintf("delta patch failed (%v); rebuilding from scratch", ferr))
 		return nil
 	}
 	baseKey := key
@@ -845,12 +931,11 @@ func patchStaleTree(inst *search.Instance, opts Options, key Key, store *Store, 
 	res.TreePatched = true
 	res.patchedAny = true
 	res.DeltaApplied = opts.Patch.DeltaSize(len(inst.Rows))
-	if opts.Cache != nil {
-		opts.Cache.Put(key, patched)
-	}
+	cachePublish(opts.Cache, key, patched, res)
 	if store != nil {
 		if err := store.Save(key, patched); err != nil {
 			res.Notes = append(res.Notes, fmt.Sprintf("could not persist patched partition tree: %v", err))
+			res.degrade("store", fmt.Sprintf("patched tree not persisted (%v)", err))
 		}
 	}
 	return patched

@@ -92,6 +92,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"repro/internal/bound"
@@ -127,6 +128,10 @@ var (
 	// ErrAdmission: a serving-side admission controller shed the query
 	// (pbserver maps it to HTTP 429 with a Retry-After).
 	ErrAdmission = lifecycle.ErrAdmission
+	// ErrInternal: the query failed unexpectedly — a recovered panic or
+	// an exhausted degradation ladder. The solve drained its admission
+	// slot correctly; retrying is safe (pbserver maps it to HTTP 500).
+	ErrInternal = lifecycle.ErrInternal
 )
 
 // System is a PackageBuilder instance: an embedded database plus the
@@ -477,6 +482,9 @@ func FormatResult(w io.Writer, sys *System, res *Result) {
 	st := res.Stats
 	fmt.Fprintf(w, "strategy=%s exact=%v candidates=%d bounds=%s elapsed=%s\n",
 		st.Strategy, st.Exact, st.Candidates, st.Bounds, st.Elapsed.Round(time.Microsecond))
+	if st.Degraded {
+		fmt.Fprintf(w, "degraded: %s\n", strings.Join(st.DegradedReasons, "; "))
+	}
 	if st.Certified && len(res.Packages) > 0 && res.Query.Objective != nil {
 		// bound.Interval.FormatInterval is the one shared gap renderer
 		// (the CLI and the HTTP server reuse it), so every surface rounds
